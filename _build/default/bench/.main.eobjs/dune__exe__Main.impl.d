@@ -1,0 +1,1 @@
+bench/main.ml: Appserver Bench_util Buffer Dom Http_sim List Minijs Option Printf Scenarios Sys Virtual_clock Xdm_item Xqib Xquery

@@ -1,0 +1,42 @@
+(* Timing helpers built on Bechamel: every timed experiment goes
+   through [ns_per_run], which runs the thunk under Bechamel's
+   monotonic clock and returns the OLS estimate of nanoseconds per
+   run. *)
+
+open Bechamel
+open Toolkit
+
+let ns_per_run ?(quota = 0.5) f =
+  let test = Test.make ~name:"b" (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock
+      raw
+  in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
+  | [ ols ] -> (
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> est
+      | _ -> Float.nan)
+  | _ -> Float.nan
+
+let pretty_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let section id title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s — %s\n" id title;
+  Printf.printf "==============================================================\n"

@@ -1,0 +1,474 @@
+(* The benchmark harness: regenerates every figure and quantitative
+   claim of the paper (see DESIGN.md §3 for the experiment index).
+
+   F1 — Fig. 1  plug-in pipeline latency breakdown
+   F2 — Fig. 2  Reference 2.0 server offload (server-side vs migrated)
+   F3 — Fig. 3  JS/XQuery co-existence on shared events and DOM
+   T1 — §6.3    lines-of-code comparison
+   T2 — §7      XQuery vs JavaScript in-browser performance
+   T3 — §4.2.1  window-tree security (semantics + overhead)
+   T4 — §4.4    async `behind` vs synchronous calls (UI blocking)
+   T5 — §5.1    ablations: syntax vs HOF fallback; optimizer on/off
+   T6 — §2.2    XPath embedded in JavaScript vs native XQuery *)
+
+module B = Xqib.Browser
+module AS = Appserver.App_server
+open Bench_util
+
+let () = Minijs.Js_interp.install ()
+
+(* ------------------------------------------------------------------ *)
+(* helpers                                                             *)
+
+let browser_with ?cache ?(page = "<html><body/></html>") () =
+  let b = B.create ?cache () in
+  Xqib.Page.load b page;
+  b
+
+let wide_page n =
+  let buf = Buffer.create (n * 32) in
+  Buffer.add_string buf "<html><body><div id=\"root\">";
+  for i = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf "<item id=\"i%d\" class=\"%s\">value %d</item>" i
+         (if i mod 2 = 0 then "even" else "odd")
+         i)
+  done;
+  Buffer.add_string buf "</div></body></html>";
+  Buffer.contents buf
+
+let run_xq b src = Xqib.Page.run_xquery b b.B.top_window src
+
+(* ------------------------------------------------------------------ *)
+(* F1 — pipeline latency breakdown (Fig. 1)                            *)
+
+let bench_f1 () =
+  section "F1" "plug-in pipeline (Fig. 1): parse page / compile / run / dispatch";
+  Printf.printf "%-10s %14s %14s %14s %14s %14s\n" "page size" "parse+DOM"
+    "compile" "run main" "dispatch" "render";
+  List.iter
+    (fun n ->
+      let html = wide_page n in
+      let parse = ns_per_run (fun () -> ignore (Sys.opaque_identity (Dom.of_string html))) in
+      let script =
+        "declare updating function local:l($evt, $obj) { insert node <hit/> into //div[@id='root'] }; \
+         on event \"onclick\" at (//item)[1] attach listener local:l"
+      in
+      let compile =
+        ns_per_run (fun () ->
+            ignore
+              (Sys.opaque_identity
+                 (Xquery.Parser.parse_program (Xquery.Engine.default_static ()) script)))
+      in
+      let run_main =
+        ns_per_run ~quota:1.0 (fun () ->
+            let b = B.create () in
+            Xqib.Page.load b html;
+            ignore (Sys.opaque_identity (run_xq b script)))
+      in
+      (* one prepared page, repeated dispatch: the listener loop *)
+      let b = B.create () in
+      Xqib.Page.load b html;
+      ignore (run_xq b script);
+      let target = List.hd (Dom.get_elements_by_local_name (B.document b) "item") in
+      let dispatch = ns_per_run (fun () -> B.dispatch b ~target "onclick") in
+      let render =
+        ns_per_run (fun () ->
+            ignore (Sys.opaque_identity (Xqib.Renderer.render (B.document b))))
+      in
+      Printf.printf "%-10d %14s %14s %14s %14s %14s\n" n (pretty_ns parse)
+        (pretty_ns compile) (pretty_ns run_main) (pretty_ns dispatch)
+        (pretty_ns render))
+    [ 10; 100; 1000 ]
+
+(* ------------------------------------------------------------------ *)
+(* F2 — server offload (Fig. 2)                                        *)
+
+let bench_f2 () =
+  section "F2" "Reference 2.0 offload (Fig. 2): server-side vs migrated+cache";
+  Printf.printf "%-10s | %-28s | %-28s\n" "" "server-side rendering" "migrated + client cache";
+  Printf.printf "%-10s | %8s %9s %8s | %8s %9s %8s\n" "requests" "evals" "reqs"
+    "time(s)" "evals" "reqs" "time(s)";
+  List.iter
+    (fun n ->
+      let server_side () =
+        let clock = Virtual_clock.create () in
+        let http = Http_sim.create clock in
+        let e = Scenarios.make_elsevier http in
+        Http_sim.reset_stats http;
+        for _ = 1 to n do
+          let b = B.create ~clock ~http () in
+          Xqib.Page.browse b
+            ("http://" ^ AS.host e.Scenarios.server ^ e.Scenarios.browse_page_path)
+        done;
+        ( AS.evaluations e.Scenarios.server,
+          Http_sim.request_count http ~host:(AS.host e.Scenarios.server),
+          Virtual_clock.now clock )
+      in
+      let client_side () =
+        let clock = Virtual_clock.create () in
+        let http = Http_sim.create clock in
+        let e = Scenarios.make_elsevier http in
+        Http_sim.reset_stats http;
+        let b = B.create ~cache:true ~clock ~http () in
+        Xqib.Page.browse b
+          ("http://" ^ AS.host e.Scenarios.server ^ e.Scenarios.client_page_path);
+        B.run b;
+        for _ = 2 to n do
+          ignore
+            (run_xq b
+               "count(rest:get('http://www.elsevier.example/docs/archive.xml')//article)")
+        done;
+        ( AS.evaluations e.Scenarios.server,
+          Http_sim.request_count http ~host:(AS.host e.Scenarios.server),
+          Virtual_clock.now clock )
+      in
+      let se, sr, st = server_side () in
+      let ce, cr, ct = client_side () in
+      Printf.printf "%-10d | %8d %9d %8.3f | %8d %9d %8.3f\n" n se sr st ce cr ct)
+    [ 1; 5; 20; 50 ];
+  print_endline
+    "\nshape check: server evaluations grow linearly server-side and stay at 0\n\
+     when migrated; requests collapse to page+document with the client cache."
+
+(* ------------------------------------------------------------------ *)
+(* F3 — co-existence (Fig. 3)                                          *)
+
+let bench_f3 () =
+  section "F3" "JS/XQuery co-existence (Fig. 3): both languages on one event";
+  let page_js_only =
+    {|<html><head><script type="text/javascript">
+      function h(e) { e.target.setAttribute("js", "1"); }
+      document.getElementById("b").addEventListener("onclick", h, false);
+      </script></head><body><button id="b"/></body></html>|}
+  in
+  let page_xq_only =
+    {|<html><head><script type="text/xquery">
+      declare updating function local:h($evt, $obj) {
+        insert node attribute xq { "1" } into $obj
+      };
+      on event "onclick" at //button attach listener local:h
+      </script></head><body><button id="b"/></body></html>|}
+  in
+  let page_both =
+    {|<html><head><script type="text/javascript">
+      function h(e) { e.target.setAttribute("js", "1"); }
+      document.getElementById("b").addEventListener("onclick", h, false);
+      </script><script type="text/xquery">
+      declare updating function local:h($evt, $obj) {
+        insert node attribute xq { "1" } into $obj
+      };
+      on event "onclick" at //button attach listener local:h
+      </script></head><body><button id="b"/></body></html>|}
+  in
+  let dispatch_cost page =
+    let b = B.create () in
+    Xqib.Page.load b page;
+    let btn = Option.get (Dom.get_element_by_id (B.document b) "b") in
+    ns_per_run (fun () -> B.dispatch b ~target:btn "onclick")
+  in
+  Printf.printf "%-26s %14s\n" "handlers on the event" "dispatch cost";
+  Printf.printf "%-26s %14s\n" "JavaScript only" (pretty_ns (dispatch_cost page_js_only));
+  Printf.printf "%-26s %14s\n" "XQuery only" (pretty_ns (dispatch_cost page_xq_only));
+  Printf.printf "%-26s %14s\n" "both (the mash-up case)" (pretty_ns (dispatch_cost page_both));
+  (* semantics: both handlers really run on one click *)
+  let b = B.create () in
+  Xqib.Page.load b page_both;
+  let btn = Option.get (Dom.get_element_by_id (B.document b) "b") in
+  B.click b btn;
+  Printf.printf "both handlers observed one click: js=%s xq=%s\n"
+    (Option.value ~default:"-" (Dom.attribute_local btn "js"))
+    (Option.value ~default:"-" (Dom.attribute_local btn "xq"))
+
+(* ------------------------------------------------------------------ *)
+(* T1 — lines of code (§6.3)                                           *)
+
+let bench_t1 () =
+  section "T1" "lines of code (§6.3): one language vs the technology jungle";
+  let rows =
+    [
+      ( "shopping cart",
+        Scenarios.loc Scenarios.shop_jsp_template,
+        "JSP+SQL+JS+XPath",
+        Scenarios.loc Scenarios.shop_xquery_page );
+      ( "multiplication table",
+        Scenarios.loc (Scenarios.mult_table_js_page 9),
+        "JavaScript",
+        Scenarios.loc (Scenarios.mult_table_xquery_page 9) );
+    ]
+  in
+  Printf.printf "%-22s %22s %8s %8s %7s\n" "application" "baseline stack" "LoC"
+    "XQuery" "ratio";
+  List.iter
+    (fun (name, base_loc, stack, xq_loc) ->
+      Printf.printf "%-22s %22s %8d %8d %6.1fx\n" name stack base_loc xq_loc
+        (float_of_int base_loc /. float_of_int xq_loc))
+    rows;
+  print_endline
+    "\nshape check: the paper reports 77 JS vs 29 XQuery lines (2.7x) for its\n\
+     multiplication-table demo; the XQuery versions here stay ~2-3x smaller."
+
+(* ------------------------------------------------------------------ *)
+(* T2 — XQuery vs JavaScript performance (§7 future work)              *)
+
+let bench_t2 () =
+  section "T2" "XQuery vs JavaScript in the browser (§7): navigation / update / events";
+  Printf.printf "%-8s %-22s %14s %14s\n" "n" "operation" "JavaScript" "XQuery";
+  List.iter
+    (fun n ->
+      let page = wide_page n in
+      (* navigation: count elements of class 'even' *)
+      let bj = browser_with ~page () in
+      let js_nav =
+        ns_per_run (fun () ->
+            ignore
+              (Sys.opaque_identity
+                 (Minijs.Js_interp.eval_in_window bj bj.B.top_window
+                    "document.evaluate(\"//item[@class='even']\", document, null, \
+                     XPathResult.UNORDERED_NODE_SNAPSHOT_TYPE, null).snapshotLength")))
+      in
+      let bx = browser_with ~page () in
+      let xq_nav =
+        ns_per_run (fun () ->
+            ignore (Sys.opaque_identity (run_xq bx "count(//item[@class='even'])")))
+      in
+      Printf.printf "%-8d %-22s %14s %14s\n" n "DOM navigation" (pretty_ns js_nav)
+        (pretty_ns xq_nav);
+      (* update: insert k elements per run *)
+      let k = 50 in
+      let bj = browser_with ~page () in
+      Minijs.Js_interp.run_script bj bj.B.top_window
+        "var root = document.getElementById('root');\n\
+         function addSome(k) { for (var i = 0; i < k; i++) {\n\
+           var el = document.createElement('extra');\n\
+           el.appendChild(document.createTextNode('x'));\n\
+           root.appendChild(el); } }";
+      let js_upd =
+        ns_per_run (fun () ->
+            Minijs.Js_interp.run_script bj bj.B.top_window "addSome(50);")
+      in
+      let bx = browser_with ~page () in
+      ignore
+        (run_xq bx
+           "declare updating function local:add($k) { \
+              insert nodes (for $i in 1 to $k return <extra>x</extra>) \
+              into //div[@id='root'] } ; 0");
+      let xq_upd =
+        ns_per_run (fun () -> ignore (run_xq bx (Printf.sprintf "local:add(%d)" k)))
+      in
+      Printf.printf "%-8d %-22s %14s %14s\n" n
+        (Printf.sprintf "DOM update (+%d)" k)
+        (pretty_ns js_upd) (pretty_ns xq_upd);
+      (* events: listener on the container, dispatch from a leaf *)
+      let bj = browser_with ~page () in
+      Minijs.Js_interp.run_script bj bj.B.top_window
+        "var hits = 0;\n\
+         document.getElementById('root').addEventListener('ping', function(e) { hits++; }, false);";
+      let jst = List.hd (Dom.get_elements_by_local_name (B.document bj) "item") in
+      let js_evt = ns_per_run (fun () -> B.dispatch bj ~target:jst "ping") in
+      let bx = browser_with ~page () in
+      ignore
+        (run_xq bx
+           "declare function local:noop($evt, $obj) { () }; \
+            on event \"ping\" at //div[@id='root'] attach listener local:noop");
+      let xst = List.hd (Dom.get_elements_by_local_name (B.document bx) "item") in
+      let xq_evt = ns_per_run (fun () -> B.dispatch bx ~target:xst "ping") in
+      Printf.printf "%-8d %-22s %14s %14s\n" n "event dispatch (bubble)"
+        (pretty_ns js_evt) (pretty_ns xq_evt))
+    [ 100; 1000; 10000 ]
+
+(* ------------------------------------------------------------------ *)
+(* T3 — window security (§4.2.1)                                       *)
+
+let bench_t3 () =
+  section "T3" "window-tree security (§4.2.1): semantics and overhead";
+  let make_browser policy frames foreign =
+    let b = B.create ~policy ~href:"http://app.example/" () in
+    Xqib.Page.load b "<html><body/></html>";
+    for i = 1 to frames do
+      Xqib.Windows.add_frame ~parent:b.B.top_window
+        (Xqib.Windows.create
+           ~name:(Printf.sprintf "frame%d" i)
+           ~href:
+             (if i <= foreign then Printf.sprintf "http://evil%d.example/" i
+              else "http://app.example/sub")
+           ())
+    done;
+    b
+  in
+  Printf.printf "%-22s %10s %10s\n" "setup (10 frames)" "same-org" "allow-all";
+  List.iter
+    (fun foreign ->
+      let count policy =
+        let b = make_browser policy 10 foreign in
+        Xdm_item.to_display_string
+          (run_xq b "count(browser:top()//window[@name])")
+      in
+      Printf.printf "%-22s %10s %10s\n"
+        (Printf.sprintf "%d cross-origin" foreign)
+        (count Xqib.Origin.Same_origin)
+        (count Xqib.Origin.Allow_all))
+    [ 0; 5; 10 ];
+  let cost policy =
+    let b = make_browser policy 10 5 in
+    ns_per_run (fun () ->
+        ignore (Sys.opaque_identity (run_xq b "count(browser:top()//window)")))
+  in
+  Printf.printf "\nmaterialization cost: same-origin=%s allow-all=%s\n"
+    (pretty_ns (cost Xqib.Origin.Same_origin))
+    (pretty_ns (cost Xqib.Origin.Allow_all));
+  let b = make_browser Xqib.Origin.Same_origin 2 0 in
+  ignore (run_xq b "replace value of node browser:top()/frames/window[1]/status with 'hi'");
+  Printf.printf "same-origin frame status write-back: %S\n"
+    (List.hd b.B.top_window.Xqib.Windows.frames).Xqib.Windows.status
+
+(* ------------------------------------------------------------------ *)
+(* T4 — async behind vs synchronous (§4.4)                             *)
+
+let bench_t4 () =
+  section "T4" "AJAX suggest (§4.4): UI-blocked time, sync vs `behind`";
+  Printf.printf "%-14s %12s %12s %14s\n" "latency (ms)" "sync UI(s)" "async UI(s)"
+    "async total(s)";
+  List.iter
+    (fun latency_ms ->
+      let latency = { Http_sim.base = float_of_int latency_ms /. 1000.; per_kb = 0. } in
+      let keystrokes = "albert" in
+      let sync_blocked () =
+        let clock = Virtual_clock.create () in
+        let http = Http_sim.create ~latency clock in
+        ignore (Scenarios.setup_suggest http);
+        let b = B.create ~clock ~http () in
+        Xqib.Page.load b
+          {|<html><head><script type="text/xquery">
+            declare updating function local:hint($evt, $obj) {
+              replace value of node //*[@id="txtHint"]
+              with string-join(rest:get(concat("http://hints.example/suggest?q=",
+                                               string($obj/@value)))//hint/text(), ", ")
+            };
+            on event "onkeyup" at //input attach listener local:hint
+            </script></head><body><input id="t" value=""/><span id="txtHint"/></body></html>|};
+        let input = Option.get (Dom.get_element_by_id (B.document b) "t") in
+        B.type_text b input keystrokes;
+        b.B.ui_blocked
+      in
+      let async_blocked, async_total =
+        let clock = Virtual_clock.create () in
+        let http = Http_sim.create ~latency clock in
+        let page = Scenarios.setup_suggest http in
+        let b = B.create ~clock ~http () in
+        Xqib.Page.load b page;
+        let input = Option.get (Dom.get_element_by_id (B.document b) "text1") in
+        B.type_text b input keystrokes;
+        B.run b;
+        (b.B.ui_blocked, Virtual_clock.now clock)
+      in
+      Printf.printf "%-14d %12.3f %12.3f %14.3f\n" latency_ms (sync_blocked ())
+        async_blocked async_total)
+    [ 10; 50; 200 ];
+  print_endline
+    "\nshape check: synchronous calls block the UI linearly in service latency;\n\
+     `behind` keeps UI-blocked time at ~0 while the work happens off-thread."
+
+(* ------------------------------------------------------------------ *)
+(* T5 — ablations (§5.1)                                               *)
+
+let bench_t5 () =
+  section "T5" "ablations (§5.1): syntax extension vs HOF fallback; optimizer";
+  let page = wide_page 200 in
+  let reg_cost src =
+    ns_per_run ~quota:1.0 (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b page;
+        ignore (run_xq b src))
+  in
+  let syntax_src =
+    "declare function local:h($evt, $obj) { () }; \
+     on event \"ping\" at //item attach listener local:h"
+  in
+  let hof_src =
+    "declare function local:h($evt, $obj) { () }; \
+     browser:addEventListener(//item, \"ping\", \"local:h\")"
+  in
+  Printf.printf "event registration on 200 nodes:\n";
+  Printf.printf "  proposed syntax (on event ... attach)    %14s\n"
+    (pretty_ns (reg_cost syntax_src));
+  Printf.printf "  HOF fallback (browser:addEventListener)  %14s\n"
+    (pretty_ns (reg_cost hof_src));
+  let style_syntax = "set style \"color\" of //item to \"red\"" in
+  let style_hof = "browser:setStyle(//item, \"color\", \"red\")" in
+  Printf.printf "style manipulation on 200 nodes:\n";
+  Printf.printf "  proposed syntax (set style ... to)       %14s\n"
+    (pretty_ns (reg_cost style_syntax));
+  Printf.printf "  HOF fallback (browser:setStyle)          %14s\n"
+    (pretty_ns (reg_cost style_hof));
+  (* optimizer ablation *)
+  let doc = Dom.of_string (wide_page 2000) in
+  let query =
+    "count(//item[@class='even'][true()]) + (if (count(//item) > 0) then 1 else 0)"
+  in
+  let eval_with opt =
+    let compiled =
+      Xquery.Engine.compile ~optimize:opt ~static:(Xquery.Engine.default_static ()) query
+    in
+    ns_per_run (fun () ->
+        ignore
+          (Sys.opaque_identity
+             (Xquery.Engine.run ~context_item:(Xdm_item.Node doc) compiled)))
+  in
+  Printf.printf "optimizer ablation (query over 2000 items):\n";
+  Printf.printf "  rewrites off                             %14s\n" (pretty_ns (eval_with false));
+  Printf.printf "  rewrites on                              %14s\n" (pretty_ns (eval_with true))
+
+(* ------------------------------------------------------------------ *)
+(* T6 — embedded XPath vs native XQuery (§2.2)                         *)
+
+let bench_t6 () =
+  section "T6" "XPath embedded in JavaScript vs native XQuery (§2.2)";
+  Printf.printf "%-8s %22s %22s\n" "divs" "JS document.evaluate" "native XQuery path";
+  List.iter
+    (fun n ->
+      let buf = Buffer.create (n * 24) in
+      Buffer.add_string buf "<html><body>";
+      for i = 1 to n do
+        Buffer.add_string buf
+          (Printf.sprintf "<div>%s %d</div>"
+             (if i mod 10 = 0 then "all you need is love" else "filler text")
+             i)
+      done;
+      Buffer.add_string buf "</body></html>";
+      let page = Buffer.contents buf in
+      let bj = browser_with ~page () in
+      let js =
+        ns_per_run (fun () ->
+            ignore
+              (Sys.opaque_identity
+                 (Minijs.Js_interp.eval_in_window bj bj.B.top_window
+                    "document.evaluate(\"//div[contains(., 'love')]\", document, null, \
+                     XPathResult.UNORDERED_NODE_SNAPSHOT_TYPE, null).snapshotLength")))
+      in
+      let bx = browser_with ~page () in
+      let xq =
+        ns_per_run (fun () ->
+            ignore (Sys.opaque_identity (run_xq bx "count(//div[contains(., 'love')])")))
+      in
+      Printf.printf "%-8d %22s %22s\n" n (pretty_ns js) (pretty_ns xq))
+    [ 100; 1000; 5000 ];
+  print_endline
+    "\nshape check: both run on the same engine underneath; the JS path adds\n\
+     interpreter and API-marshalling overhead on top (the paper's motivation\n\
+     for using XQuery directly rather than embedding XPath strings in JS)."
+
+let () =
+  print_endline "XQuery in the Browser — benchmark harness";
+  print_endline "(virtual-time metrics are deterministic; wall-clock numbers";
+  print_endline " are Bechamel OLS estimates on this machine)";
+  bench_f1 ();
+  bench_f2 ();
+  bench_f3 ();
+  bench_t1 ();
+  bench_t2 ();
+  bench_t3 ();
+  bench_t4 ();
+  bench_t5 ();
+  bench_t6 ();
+  print_endline "\ndone."

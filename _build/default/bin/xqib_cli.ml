@@ -1,0 +1,224 @@
+(* xqib — command-line front end to the XQuery-in-the-browser runtime.
+
+   xqib eval  'EXPR'                evaluate an expression
+   xqib run   FILE.xq               run a query/program file
+   xqib page  FILE.html [options]   load a page in the simulated browser,
+                                    optionally simulate clicks/typing,
+                                    print alerts and the resulting DOM
+   xqib migrate FILE.xq             print the client page produced by the
+                                    §6.1 server-to-client migration
+   xqib parse FILE.xq               parse and re-print (normalised) source *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let handle f =
+  try f () with
+  | Xquery.Xq_error.Error e ->
+      Printf.eprintf "error: %s\n" (Xquery.Xq_error.to_string e);
+      exit 1
+  | Xmlb.Xml_parser.Parse_error { line; col; message } ->
+      Printf.eprintf "XML parse error at %d:%d: %s\n" line col message;
+      exit 1
+  | Minijs.Js_interp.Js_error m | Minijs.Js_lexer.Js_syntax_error m ->
+      Printf.eprintf "JavaScript error: %s\n" m;
+      exit 1
+
+let print_result seq =
+  List.iter
+    (fun item ->
+      match item with
+      | Xdm_item.Node n -> print_endline (Dom.serialize ~indent:true n)
+      | Xdm_item.Atomic a -> print_endline (Xdm_atomic.to_string a))
+    seq
+
+(* ---- eval ---- *)
+
+let eval_cmd =
+  let expr = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR") in
+  let optimize =
+    Arg.(value & opt bool true & info [ "optimize" ] ~doc:"Run the rewrite optimizer.")
+  in
+  let run expr optimize =
+    handle (fun () -> print_result (Xquery.Engine.eval_string ~optimize expr))
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Evaluate an XQuery expression")
+    Term.(const run $ expr $ optimize)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xq") in
+  let run file =
+    handle (fun () -> print_result (Xquery.Engine.eval_string (read_file file)))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run an XQuery program file") Term.(const run $ file)
+
+(* ---- page ---- *)
+
+let page_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.html") in
+  let clicks =
+    Arg.(value & opt_all string [] & info [ "click" ] ~docv:"ID" ~doc:"Click the element with this id (repeatable).")
+  in
+  let types =
+    Arg.(value & opt_all string [] & info [ "type" ] ~docv:"ID=TEXT" ~doc:"Type TEXT into the element with id ID (repeatable).")
+  in
+  let show_doc =
+    Arg.(value & flag & info [ "show-doc" ] ~doc:"Print the final document.")
+  in
+  let render =
+    Arg.(value & flag & info [ "render" ] ~doc:"Render the final page as text.")
+  in
+  let uppercase =
+    Arg.(value & flag & info [ "ie-uppercase" ] ~doc:"Model IE's tag upper-casing quirk (paper §5.1).")
+  in
+  let query =
+    Arg.(value & opt (some string) None & info [ "query" ] ~docv:"XQUERY" ~doc:"Run a query against the final page and print the result.")
+  in
+  let run file clicks types show_doc render uppercase query =
+    handle (fun () ->
+        Minijs.Js_interp.install ();
+        let b = Xqib.Browser.create ~uppercase_tags:uppercase () in
+        Xqib.Page.load b (read_file file);
+        Xqib.Browser.run b;
+        let doc = Xqib.Browser.document b in
+        List.iter
+          (fun spec ->
+            match String.index_opt spec '=' with
+            | Some i ->
+                let id = String.sub spec 0 i in
+                let text = String.sub spec (i + 1) (String.length spec - i - 1) in
+                (match Dom.get_element_by_id doc id with
+                | Some el -> Xqib.Browser.type_text b el text
+                | None -> Printf.eprintf "no element with id %S\n" id)
+            | None -> Printf.eprintf "bad --type spec %S (want ID=TEXT)\n" spec)
+          types;
+        List.iter
+          (fun id ->
+            match Dom.get_element_by_id doc id with
+            | Some el -> Xqib.Browser.click b el
+            | None -> Printf.eprintf "no element with id %S\n" id)
+          clicks;
+        Xqib.Browser.run b;
+        (match Xqib.Browser.alerts b with
+        | [] -> ()
+        | alerts ->
+            print_endline "== alerts ==";
+            List.iter print_endline alerts);
+        (match query with
+        | Some q ->
+            print_endline "== query result ==";
+            print_result (Xqib.Page.run_xquery b b.Xqib.Browser.top_window q)
+        | None -> ());
+        if show_doc then begin
+          print_endline "== document ==";
+          print_endline (Dom.serialize ~indent:true doc)
+        end;
+        if render then begin
+          print_endline "== rendered ==";
+          print_endline (Xqib.Renderer.render doc)
+        end;
+        Printf.printf "(%d events dispatched, %d DOM mutations)\n"
+          b.Xqib.Browser.events_dispatched b.Xqib.Browser.render_count)
+  in
+  Cmd.v
+    (Cmd.info "page" ~doc:"Load an (X)HTML page in the simulated browser")
+    Term.(const run $ file $ clicks $ types $ show_doc $ render $ uppercase $ query)
+
+(* ---- migrate ---- *)
+
+let migrate_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xq") in
+  let doc_base =
+    Arg.(
+      value
+      & opt string "http://localhost/docs/"
+      & info [ "doc-base" ] ~docv:"URI" ~doc:"Base URI fn:doc calls are rewritten to.")
+  in
+  let run file doc_base =
+    handle (fun () ->
+        print_endline (Appserver.Migration.migrate ~doc_base (read_file file)))
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:"Migrate a server-side XQuery page to a client page (paper §6.1)")
+    Term.(const run $ file $ doc_base)
+
+(* ---- parse ---- *)
+
+let parse_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xq") in
+  let run file =
+    handle (fun () ->
+        let static = Xquery.Engine.default_static () in
+        let prog = Xquery.Parser.parse_program static (read_file file) in
+        print_string (Xquery.Ast_printer.program_to_source prog))
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a program and print normalised source")
+    Term.(const run $ file)
+
+(* ---- repl ---- *)
+
+let repl_cmd =
+  let page =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "page" ] ~docv:"FILE.html" ~doc:"Load this page first; queries run against it.")
+  in
+  let run page =
+    handle (fun () ->
+        Minijs.Js_interp.install ();
+        let b = Xqib.Browser.create () in
+        (match page with
+        | Some f -> Xqib.Page.load b (read_file f)
+        | None -> Xqib.Page.load b "<html><body/></html>");
+        print_endline "xqib repl — XQuery against a simulated page.";
+        print_endline "Statements share one page context (scripting semantics).";
+        print_endline "Type :doc to print the page, :quit to exit.";
+        let rec loop () =
+          print_string "xq> ";
+          match read_line () with
+          | exception End_of_file -> ()
+          | ":quit" | ":q" -> ()
+          | ":doc" ->
+              print_endline (Dom.serialize ~indent:true (Xqib.Browser.document b));
+              loop ()
+          | ":alerts" ->
+              List.iter print_endline (Xqib.Browser.alerts b);
+              loop ()
+          | "" -> loop ()
+          | line ->
+              (try
+                 let result = Xqib.Page.run_xquery b b.Xqib.Browser.top_window line in
+                 Xqib.Browser.run b;
+                 print_result result
+               with
+              | Xquery.Xq_error.Error e ->
+                  Printf.printf "error: %s
+" (Xquery.Xq_error.to_string e)
+              | Minijs.Js_interp.Js_error m -> Printf.printf "js error: %s
+" m);
+              loop ()
+        in
+        loop ())
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive XQuery against a simulated page")
+    Term.(const run $ page)
+
+let () =
+  let info =
+    Cmd.info "xqib" ~version:"1.0.0"
+      ~doc:"XQuery in the Browser — simulated-browser XQuery runtime"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ eval_cmd; run_cmd; page_cmd; migrate_cmd; parse_cmd; repl_cmd ]))

@@ -1,0 +1,1 @@
+examples/ajax_suggest.ml: Dom Http_sim Option Printf Scenarios Virtual_clock Xqib

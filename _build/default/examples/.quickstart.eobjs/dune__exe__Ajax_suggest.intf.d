@@ -1,0 +1,1 @@
+examples/ajax_suggest.mli:

@@ -1,0 +1,1 @@
+examples/elsevier.ml: Appserver Http_sim List Printf Scenarios Virtual_clock Xdm_item Xqib

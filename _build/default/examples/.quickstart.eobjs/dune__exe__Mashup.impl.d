@@ -1,0 +1,1 @@
+examples/mashup.ml: Dom Http_sim Minijs Option Printf Scenarios Virtual_clock Xdm_item Xmlb Xqib

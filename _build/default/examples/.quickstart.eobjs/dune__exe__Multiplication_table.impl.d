@@ -1,0 +1,1 @@
+examples/multiplication_table.ml: Dom List Minijs Printf Scenarios Xqib

@@ -1,0 +1,1 @@
+examples/multiplication_table.mli:

@@ -1,0 +1,1 @@
+examples/offline_notes.ml: Appserver Doc_store Dom Http_sim List Option Printf Virtual_clock Xdm_item Xmlb Xqib Xquery

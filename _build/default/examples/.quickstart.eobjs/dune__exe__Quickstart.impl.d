@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dom List Option Printf Xdm_item Xqib

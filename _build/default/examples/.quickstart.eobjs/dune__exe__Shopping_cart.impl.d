@@ -1,0 +1,1 @@
+examples/shopping_cart.ml: Appserver Doc_store Dom Http_sim Minijs Option Printf Scenarios Virtual_clock Xqib

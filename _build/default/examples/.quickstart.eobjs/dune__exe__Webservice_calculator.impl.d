@@ -1,0 +1,1 @@
+examples/webservice_calculator.ml: Dom Http_sim List Option Printf String Virtual_clock Web_service Xqib

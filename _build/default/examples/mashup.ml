@@ -1,0 +1,47 @@
+(* The §6.2 Google-Maps/weather mash-up: JavaScript runs the map (its
+   own service + DOM updates), XQuery handles the same search click to
+   call weather and webcam REST services and integrate the results.
+   Both languages listen to the SAME event and share the page DOM as
+   their common database (Fig. 3). *)
+
+module B = Xqib.Browser
+
+let () = Minijs.Js_interp.install ()
+
+let () =
+  let clock = Virtual_clock.create () in
+  let http = Http_sim.create clock in
+  let page = Scenarios.setup_mashup http in
+  let browser = B.create ~clock ~http () in
+  Xqib.Page.load browser page;
+
+  (* the user types a location and hits search *)
+  let doc = B.document browser in
+  let searchbox = Option.get (Dom.get_element_by_id doc "searchbox") in
+  Dom.set_attribute searchbox (Xmlb.Qname.make "value") "zurich";
+  let search = Option.get (Dom.get_element_by_id doc "search") in
+  B.click browser search;
+  B.run browser;
+
+  print_endline "== page after searching for 'zurich' ==";
+  print_endline (Dom.serialize ~indent:true doc);
+
+  let map = Option.get (Dom.get_element_by_id doc "map") in
+  Printf.printf "\nJavaScript updated the map     : location=%s\n"
+    (Option.value ~default:"(none)" (Dom.attribute_local map "location"));
+  let report =
+    Xqib.Page.run_xquery browser browser.B.top_window
+      "string(//div[@class='report']/p)"
+  in
+  Printf.printf "XQuery integrated the weather  : %s\n"
+    (Xdm_item.to_display_string report);
+  let cams =
+    Xqib.Page.run_xquery browser browser.B.top_window
+      "count(//div[@class='report']/img)"
+  in
+  Printf.printf "XQuery integrated webcams      : %s\n" (Xdm_item.to_display_string cams);
+  Printf.printf "weather-service requests       : %d\n"
+    (Http_sim.request_count http ~host:"weather-eu.example");
+  Printf.printf "webcam-service requests        : %d\n"
+    (Http_sim.request_count http ~host:"webcams.example");
+  Printf.printf "virtual time elapsed           : %.3fs\n" (Virtual_clock.now clock)

@@ -1,0 +1,57 @@
+(* Quickstart: load a page with an embedded XQuery script, register an
+   event listener with the paper's `on event ... attach listener`
+   syntax, simulate clicks, and watch the DOM change (paper §4.1 +
+   Fig. 1 processing model). *)
+
+module B = Xqib.Browser
+
+let page =
+  {|<html>
+  <head>
+    <title>XQuery in the Browser — quickstart</title>
+    <script type="text/xquery">
+      browser:alert(concat("Hello from XQuery! Screen is ",
+                           string(browser:screen()/width), "x",
+                           string(browser:screen()/height)))
+    </script>
+    <script type="text/xquery">
+      declare updating function local:clicked($evt, $obj) {
+        insert node <li>clicked at button {string($obj/@id)} (event {string($evt/type)})</li>
+        into //ul[@id="log"]
+      };
+      on event "onclick" at //button attach listener local:clicked
+    </script>
+  </head>
+  <body>
+    <button id="one">One</button>
+    <button id="two">Two</button>
+    <ul id="log"/>
+  </body>
+</html>|}
+
+let () =
+  let browser = B.create () in
+  Xqib.Page.load browser page;
+
+  print_endline "== alerts raised during page load ==";
+  List.iter print_endline (B.alerts browser);
+
+  let doc = B.document browser in
+  let button id = Option.get (Dom.get_element_by_id doc id) in
+  B.click browser (button "one");
+  B.click browser (button "two");
+  B.click browser (button "one");
+
+  print_endline "\n== document after three clicks ==";
+  print_endline (Dom.serialize ~indent:true doc);
+
+  (* query the live page from the outside, like a dev console *)
+  let result =
+    Xqib.Page.run_xquery browser browser.B.top_window
+      "for $li in //ul[@id='log']/li return string($li)"
+  in
+  print_endline "\n== log entries (XQuery view) ==";
+  List.iter (fun item -> print_endline ("  " ^ Xdm_item.item_string item)) result;
+
+  Printf.printf "\nevents dispatched: %d, DOM mutations observed: %d\n"
+    browser.B.events_dispatched browser.B.render_count

@@ -1,0 +1,75 @@
+(* §3.4 end-to-end: an XQuery module published as a Web service
+   (`module namespace ... port:2001`), imported by a page over its
+   /wsdl location, called synchronously and asynchronously (`behind`).
+   The paper's ab:mul(2,5) example, grown into a small calculator. *)
+
+module B = Xqib.Browser
+
+let service_module =
+  {|module namespace calc = "www.example.ch/calc" port:2001;
+declare option fn:webservice "true";
+declare function calc:mul($a, $b) { $a * $b };
+declare function calc:add($a, $b) { $a + $b };
+declare function calc:fact($n) {
+  if ($n le 1) then 1 else $n * calc:fact($n - 1)
+};|}
+
+let page =
+  {|<html><head>
+<script type="text/xquery">
+import module namespace calc = "www.example.ch/calc"
+  at "http://localhost:2001/wsdl";
+
+declare updating function local:onFact($readyState, $result) {
+  if ($readyState = 4)
+  then replace value of node //span[@id="fact"] with string($result)
+  else ()
+};
+
+declare updating function local:compute($evt, $obj) {
+  (: synchronous calls for the cheap operations ... :)
+  replace value of node //span[@id="mul"] with calc:mul(6, 7),
+  replace value of node //span[@id="add"] with calc:add(19, 23),
+  (: ... and `behind` for the expensive one: the UI is not blocked
+     while the server computes (paper §4.4) :)
+  on event "stateChanged" behind calc:fact(10)
+  attach listener local:onFact
+};
+on event "onclick" at //button attach listener local:compute
+</script>
+</head><body>
+<button id="go">Compute</button>
+<p>6 x 7 = <span id="mul">?</span></p>
+<p>19 + 23 is <span id="add">?</span></p>
+<p>10! = <span id="fact">?</span></p>
+</body></html>|}
+
+let () =
+  let clock = Virtual_clock.create () in
+  let http = Http_sim.create ~latency:{ Http_sim.base = 0.02; per_kb = 0.001 } clock in
+  let service = Web_service.publish http ~source:service_module in
+  Printf.printf "published %s exposing: %s\n"
+    (Web_service.service_uri service)
+    (String.concat ", "
+       (List.map
+          (fun (n, a) -> Printf.sprintf "calc:%s/%d" n a)
+          (Web_service.functions service)));
+
+  let b = B.create ~clock ~http () in
+  Xqib.Page.load b page;
+  let doc = B.document b in
+  B.click b (Option.get (Dom.get_element_by_id doc "go"));
+
+  let span id = Dom.string_value (Option.get (Dom.get_element_by_id doc id)) in
+  Printf.printf "\nafter the click (before the event loop runs):\n";
+  Printf.printf "  mul=%s add=%s fact=%s   (sync done, behind in flight)\n"
+    (span "mul") (span "add") (span "fact");
+
+  B.run b;
+  Printf.printf "after the event loop:\n";
+  Printf.printf "  mul=%s add=%s fact=%s\n" (span "mul") (span "add") (span "fact");
+
+  Printf.printf "\nremote calls executed by the service: %d\n"
+    (Web_service.call_count service);
+  Printf.printf "UI-blocked virtual time: %.3fs of %.3fs total\n" b.B.ui_blocked
+    (Virtual_clock.now clock)

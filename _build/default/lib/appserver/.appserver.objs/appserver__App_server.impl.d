@@ -1,0 +1,1 @@
+lib/appserver/app_server.ml: Doc_store Dom Hashtbl Http_sim List Option String Virtual_clock Xdm_atomic Xdm_item Xquery

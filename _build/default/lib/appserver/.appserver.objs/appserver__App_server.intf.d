@@ -1,0 +1,1 @@
+lib/appserver/app_server.mli: Doc_store Http_sim

@@ -1,0 +1,1 @@
+lib/appserver/jsp_sim.ml: Buffer Http_sim List Minijs Sql_lite String Xqib

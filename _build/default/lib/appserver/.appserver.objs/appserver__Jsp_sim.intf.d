@@ -1,0 +1,1 @@
+lib/appserver/jsp_sim.mli: Http_sim Sql_lite

@@ -1,0 +1,1 @@
+lib/appserver/migration.ml: App_server Buffer Doc_store Dom List Option Printf Qname Rest String Xdm_atomic Xdm_item Xmlb Xquery

@@ -1,0 +1,1 @@
+lib/appserver/migration.mli: App_server

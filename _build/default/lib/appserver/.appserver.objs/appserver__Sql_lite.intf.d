@@ -1,0 +1,1 @@
+lib/appserver/sql_lite.mli:

@@ -1,0 +1,112 @@
+module SC = Xquery.Static_context
+module DC = Xquery.Dynamic_context
+
+type page =
+  | Xquery_page of { compiled : Xquery.Engine.compiled; source : string }
+  | Static of { body : string; content_type : string }
+
+type t = {
+  http : Http_sim.t;
+  server_host : string;
+  doc_store : Doc_store.t;
+  pages : (string, page) Hashtbl.t;
+  mutable evals : int;
+}
+
+let host t = t.server_host
+let store t = t.doc_store
+let http t = t.http
+let evaluations t = t.evals
+let doc_uri t ~name = Doc_store.uri_of ~host:t.server_host ~name
+
+(* the server's host hooks: fn:doc resolves against the store *)
+let server_host_hooks t =
+  {
+    DC.default_host with
+    DC.doc =
+      (fun uri ->
+        let name =
+          (* accept bare names and full /docs/ URIs *)
+          match Http_sim.split_uri uri with
+          | Some (_, path) ->
+              let prefix = "/docs/" in
+              if
+                String.length path > String.length prefix
+                && String.sub path 0 (String.length prefix) = prefix
+              then String.sub path (String.length prefix) (String.length path - String.length prefix)
+              else path
+          | None -> uri
+        in
+        match Doc_store.get t.doc_store name with
+        | Some doc -> doc
+        | None ->
+            Xquery.Xq_error.raise_error "FODC0002" "no stored document %S" name);
+    DC.doc_available =
+      (fun uri -> Doc_store.get t.doc_store uri <> None);
+    DC.put =
+      (fun node uri ->
+        (* fn:put works server-side (it is only blocked in the browser,
+           §4.2.1): stores a copy under the given name *)
+        Doc_store.put t.doc_store ~name:uri (Dom.clone node));
+    DC.now = (fun () -> Virtual_clock.to_datetime (Http_sim.clock t.http));
+  }
+
+let render t compiled =
+  t.evals <- t.evals + 1;
+  let result = Xquery.Engine.run ~host:(server_host_hooks t) compiled in
+  String.concat ""
+    (List.map
+       (function
+         | Xdm_item.Node n -> Dom.serialize n
+         | Xdm_item.Atomic a -> Xdm_atomic.to_string a)
+       result)
+
+let handler t req =
+  match Hashtbl.find_opt t.pages req.Http_sim.path with
+  | Some (Xquery_page { compiled; _ }) ->
+      Http_sim.ok ~content_type:"text/html" (render t compiled)
+  | Some (Static { body; content_type }) -> Http_sim.ok ~content_type body
+  | None -> Http_sim.not_found req.Http_sim.path
+
+let create http ~host:server_host =
+  let t =
+    {
+      http;
+      server_host;
+      doc_store = Doc_store.create ();
+      pages = Hashtbl.create 8;
+      evals = 0;
+    }
+  in
+  (* document store at /docs/, pages everywhere else *)
+  Doc_store.attach t.doc_store http ~host:server_host;
+  let docs_handler = Option.get (Http_sim.find_host http ~host:server_host) in
+  Http_sim.register_host http ~host:server_host (fun req ->
+      let path = req.Http_sim.path in
+      if String.length path >= 5 && String.sub path 0 5 = "/docs" then
+        docs_handler req
+      else handler t req);
+  t
+
+let add_xquery_page t ~path source =
+  let static = Xquery.Engine.default_static () in
+  let compiled = Xquery.Engine.compile ~static source in
+  Hashtbl.replace t.pages path (Xquery_page { compiled; source })
+
+let add_static_page t ~path ?(content_type = "text/html") body =
+  Hashtbl.replace t.pages path (Static { body; content_type })
+
+let add_module t ~path source =
+  Hashtbl.replace t.pages path
+    (Static { body = source; content_type = "application/xquery" })
+
+let page_source t ~path =
+  match Hashtbl.find_opt t.pages path with
+  | Some (Xquery_page { source; _ }) -> Some source
+  | Some (Static _) | None -> None
+
+let render_page t ~path =
+  match Hashtbl.find_opt t.pages path with
+  | Some (Xquery_page { compiled; _ }) -> render t compiled
+  | Some (Static { body; _ }) -> body
+  | None -> Xquery.Xq_error.raise_error "SEAS0404" "no page at %s" path

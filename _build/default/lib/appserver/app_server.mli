@@ -1,0 +1,42 @@
+(** The XQuery application server of the paper's §6.1 architecture:
+    serves Web pages produced by server-side XQuery programs, with data
+    from an XML document store available via REST calls (the MarkLogic
+    stand-in). Each request to an XQuery page evaluates the program
+    against the store and serializes the resulting element. *)
+
+type t
+
+(** Create a server on a host (e.g. ["www.elsevier.example"]); attaches
+    its document store at [/docs/]. *)
+val create : Http_sim.t -> host:string -> t
+
+val host : t -> string
+val store : t -> Doc_store.t
+val http : t -> Http_sim.t
+
+(** Register an XQuery page program at a path. The program is compiled
+    once; each GET evaluates it ([fn:doc] resolves against the store)
+    and serializes the result. *)
+val add_xquery_page : t -> path:string -> string -> unit
+
+(** Register a static page body. *)
+val add_static_page : t -> path:string -> ?content_type:string -> string -> unit
+
+(** Serve an XQuery library module (content-type [application/xquery])
+    so clients can [import module ... at] it. *)
+val add_module : t -> path:string -> string -> unit
+
+(** Server-side page evaluations performed (the server CPU-work metric
+    of the offload experiment, Fig. 2). *)
+val evaluations : t -> int
+
+(** The base URI a stored document is served under. *)
+val doc_uri : t -> name:string -> string
+
+(** The original source of an XQuery page (used by the migration
+    tool). *)
+val page_source : t -> path:string -> string option
+
+(** Render a registered XQuery page directly (used by the migration
+    tool and tests). *)
+val render_page : t -> path:string -> string

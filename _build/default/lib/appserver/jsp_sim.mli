@@ -1,0 +1,23 @@
+(** A JSP-style server page engine — the paper's baseline stack
+    (§6.3): HTML templates with [<% ... %>] scriptlets and
+    [<%= ... %>] expressions in the JavaScript subset, plus SQL access
+    to {!Sql_lite} via [statement.executeQuery(...)] (ResultSet-style,
+    as in the paper's listing) or [sql.query(...)] (array of row
+    objects). [out.println(...)] appends to the response. *)
+
+type t
+
+val create : ?db:Sql_lite.t -> unit -> t
+val db : t -> Sql_lite.t
+
+exception Render_error of string
+
+(** Render a template to an HTML string. *)
+val render : t -> string -> string
+
+(** Serve templates over the simulated network: [register_page] binds
+    a path on a host to a template, rendered per request. *)
+val register_page : t -> Http_sim.t -> host:string -> path:string -> string -> unit
+
+(** Number of server-side renders performed. *)
+val render_count : t -> int

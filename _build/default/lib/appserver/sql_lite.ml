@@ -1,0 +1,230 @@
+type value = Int of int | Float of float | Text of string | Null
+
+type row = (string * value) list
+
+type table = { columns : string list; mutable rows : value list list }
+
+type t = { tables : (string, table) Hashtbl.t }
+
+exception Sql_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Sql_error m)) fmt
+
+let create () = { tables = Hashtbl.create 8 }
+
+let create_table t ~name ~columns =
+  Hashtbl.replace t.tables (String.uppercase_ascii name) { columns; rows = [] }
+
+let find_table t name =
+  match Hashtbl.find_opt t.tables (String.uppercase_ascii name) with
+  | Some tbl -> tbl
+  | None -> fail "unknown table %s" name
+
+let insert_row t ~table values =
+  let tbl = find_table t table in
+  if List.length values <> List.length tbl.columns then
+    fail "arity mismatch inserting into %s" table;
+  tbl.rows <- tbl.rows @ [ values ]
+
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Text s -> s
+  | Null -> ""
+
+let table_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
+let row_count t ~table = List.length (find_table t table).rows
+
+(* ---------------- tiny SQL front end ---------------- *)
+
+type token = Word of string | Str_lit of string | Num_lit of float | Punct of char
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '\'' then begin
+      let buf = Buffer.create 8 in
+      incr i;
+      let rec go () =
+        if !i >= n then fail "unterminated string literal"
+        else if s.[!i] = '\'' then
+          if !i + 1 < n && s.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2;
+            go ()
+          end
+          else incr i
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i;
+          go ()
+        end
+      in
+      go ();
+      toks := Str_lit (Buffer.contents buf) :: !toks
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      incr i;
+      while !i < n && ((s.[!i] >= '0' && s.[!i] <= '9') || s.[!i] = '.') do
+        incr i
+      done;
+      toks := Num_lit (float_of_string (String.sub s start (!i - start))) :: !toks
+    end
+    else if
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '*'
+    then begin
+      let start = !i in
+      incr i;
+      while
+        !i < n
+        && ((s.[!i] >= 'a' && s.[!i] <= 'z')
+           || (s.[!i] >= 'A' && s.[!i] <= 'Z')
+           || (s.[!i] >= '0' && s.[!i] <= '9')
+           || s.[!i] = '_')
+      do
+        incr i
+      done;
+      toks := Word (String.sub s start (!i - start)) :: !toks
+    end
+    else begin
+      toks := Punct c :: !toks;
+      incr i
+    end
+  done;
+  List.rev !toks
+
+let kw w = Word (String.uppercase_ascii w)
+
+let value_compare a b =
+  match (a, b) with
+  | Int x, Int y -> compare x y
+  | (Int _ | Float _), (Int _ | Float _) ->
+      let f = function Int i -> float_of_int i | Float f -> f | _ -> 0. in
+      Float.compare (f a) (f b)
+  | Text x, Text y -> String.compare x y
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | _ -> compare (value_to_string a) (value_to_string b)
+
+let query t sql =
+  let toks = List.map (function Word w -> kw w | t -> t) (tokenize sql) in
+  match toks with
+  | Word "INSERT" :: Word "INTO" :: Word table :: Word "VALUES" :: Punct '(' :: rest ->
+      let rec values acc = function
+        | Str_lit s :: rest -> next (Text s :: acc) rest
+        | Num_lit f :: rest ->
+            let v = if Float.is_integer f then Int (int_of_float f) else Float f in
+            next (v :: acc) rest
+        | Word "NULL" :: rest -> next (Null :: acc) rest
+        | _ -> fail "malformed VALUES"
+      and next acc = function
+        | Punct ',' :: rest -> values acc rest
+        | Punct ')' :: _ -> List.rev acc
+        | _ -> fail "malformed VALUES"
+      in
+      insert_row t ~table (values [] rest);
+      []
+  | Word "SELECT" :: rest ->
+      (* projection *)
+      let rec proj acc = function
+        | Word "FROM" :: rest -> (List.rev acc, rest)
+        | Word c :: Punct ',' :: rest -> proj (c :: acc) rest
+        | Word c :: rest -> proj (c :: acc) rest
+        | _ -> fail "malformed SELECT list"
+      in
+      let cols, rest = proj [] rest in
+      let table, rest =
+        match rest with
+        | Word name :: rest -> (find_table t name, rest)
+        | _ -> fail "expected table name after FROM"
+      in
+      (* WHERE conjunction of comparisons *)
+      let conds, rest =
+        match rest with
+        | Word "WHERE" :: rest ->
+            let rec conds acc = function
+              | Word col :: Punct '=' :: lit :: rest -> cond acc col "=" lit rest
+              | Word col :: Punct '<' :: Punct '=' :: lit :: rest ->
+                  cond acc col "<=" lit rest
+              | Word col :: Punct '>' :: Punct '=' :: lit :: rest ->
+                  cond acc col ">=" lit rest
+              | Word col :: Punct '<' :: Punct '>' :: lit :: rest ->
+                  cond acc col "<>" lit rest
+              | Word col :: Punct '<' :: lit :: rest -> cond acc col "<" lit rest
+              | Word col :: Punct '>' :: lit :: rest -> cond acc col ">" lit rest
+              | rest -> (List.rev acc, rest)
+            and cond acc col op lit rest =
+              let v =
+                match lit with
+                | Str_lit s -> Text s
+                | Num_lit f ->
+                    if Float.is_integer f then Int (int_of_float f) else Float f
+                | Word "NULL" -> Null
+                | _ -> fail "malformed WHERE literal"
+              in
+              match rest with
+              | Word "AND" :: rest -> conds ((col, op, v) :: acc) rest
+              | rest -> (List.rev ((col, op, v) :: acc), rest)
+            in
+            conds [] rest
+        | rest -> ([], rest)
+      in
+      let order_by =
+        match rest with
+        | Word "ORDER" :: Word "BY" :: Word col :: rest ->
+            let desc = match rest with Word "DESC" :: _ -> true | _ -> false in
+            Some (col, desc)
+        | [] -> None
+        | _ -> fail "unsupported SQL tail"
+      in
+      let col_index name =
+        let rec idx i = function
+          | [] -> fail "unknown column %s" name
+          | c :: _ when String.uppercase_ascii c = String.uppercase_ascii name -> i
+          | _ :: rest -> idx (i + 1) rest
+        in
+        idx 0 table.columns
+      in
+      let matches row =
+        List.for_all
+          (fun (col, op, v) ->
+            let actual = List.nth row (col_index col) in
+            let c = value_compare actual v in
+            match op with
+            | "=" -> c = 0
+            | "<>" -> c <> 0
+            | "<" -> c < 0
+            | "<=" -> c <= 0
+            | ">" -> c > 0
+            | ">=" -> c >= 0
+            | _ -> false)
+          conds
+      in
+      let rows = List.filter matches table.rows in
+      let rows =
+        match order_by with
+        | None -> rows
+        | Some (col, desc) ->
+            let i = col_index col in
+            let sorted =
+              List.stable_sort
+                (fun a b -> value_compare (List.nth a i) (List.nth b i))
+                rows
+            in
+            if desc then List.rev sorted else sorted
+      in
+      let out_cols =
+        match cols with [ "*" ] -> table.columns | cols -> cols
+      in
+      List.map
+        (fun row ->
+          List.map (fun c -> (c, List.nth row (col_index c))) out_cols)
+        rows
+  | _ -> fail "unsupported SQL statement: %s" sql

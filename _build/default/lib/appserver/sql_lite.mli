@@ -1,0 +1,29 @@
+(** A micro relational engine: the SQL database behind the paper's
+    baseline JSP shopping cart (§6.3 uses
+    ["SELECT * FROM PRODUCTS"]). Supports CREATE-free table
+    registration, SELECT with projection, WHERE equality/comparison
+    conjunctions, ORDER BY, and INSERT. *)
+
+type value = Int of int | Float of float | Text of string | Null
+
+type row = (string * value) list
+
+type t
+
+val create : unit -> t
+
+(** Register a table with column names. *)
+val create_table : t -> name:string -> columns:string list -> unit
+
+val insert_row : t -> table:string -> value list -> unit
+
+exception Sql_error of string
+
+(** Execute ["SELECT a, b FROM t WHERE c = 'x' ORDER BY a"] (or
+    [SELECT *]; INSERT INTO t VALUES (...)). Returns the result rows
+    (empty for INSERT). *)
+val query : t -> string -> row list
+
+val value_to_string : value -> string
+val table_names : t -> string list
+val row_count : t -> table:string -> int

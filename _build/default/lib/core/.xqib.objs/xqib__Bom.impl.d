@@ -1,0 +1,1 @@
+lib/core/bom.ml: Dom Http_sim List Origin Qname String Xmlb

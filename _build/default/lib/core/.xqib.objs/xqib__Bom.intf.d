@@ -1,0 +1,1 @@
+lib/core/bom.mli: Dom Qname Xmlb

@@ -1,0 +1,1 @@
+lib/core/browser.ml: Bom Dom Dom_event Http_sim List Local_store Option Origin Rest String Virtual_clock Windows Xdm_atomic Xdm_datetime Xdm_item Xmlb Xquery

@@ -1,0 +1,1 @@
+lib/core/browser.mli: Bom Dom Http_sim Local_store Origin Rest Virtual_clock Windows Xquery

@@ -1,0 +1,1 @@
+lib/core/browser_functions.ml: Bom Browser Dom List Local_store Origin Printf Qname Windows Xdm_atomic Xdm_item Xml_escape Xmlb Xquery

@@ -1,0 +1,1 @@
+lib/core/browser_functions.mli: Browser Windows Xquery

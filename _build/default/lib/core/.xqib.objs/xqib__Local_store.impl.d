@@ -1,0 +1,1 @@
+lib/core/local_store.ml: Dom Hashtbl List Origin String

@@ -1,0 +1,1 @@
+lib/core/local_store.mli: Dom Origin

@@ -1,0 +1,1 @@
+lib/core/page.ml: Browser Browser_functions Dom Dom_event Hashtbl Http_sim List Logs Option Printexc Qname Rest Str String Virtual_clock Web_service Windows Xdm_atomic Xdm_item Xml_parser Xmlb Xquery

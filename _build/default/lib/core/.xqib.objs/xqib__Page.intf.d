@@ -1,0 +1,1 @@
+lib/core/page.mli: Browser Dom Windows Xdm_item Xquery

@@ -1,0 +1,1 @@
+lib/core/renderer.ml: Buffer Dom List Option Printf String Xmlb Xquery

@@ -1,0 +1,1 @@
+lib/core/windows.ml: Bom Dom Fun Hashtbl Lazy List Option Origin Qname String Xmlb

@@ -1,0 +1,81 @@
+(** The simulated browser: window tree, virtual-time event loop,
+    rendering/dirtying accounting, alert sink, and simulated user
+    interactions. This plays the role of Internet Explorer in the
+    paper's architecture (Fig. 1): it owns the DOM, listens for
+    events, and calls the XQuery engine's listeners. *)
+
+type t = {
+  clock : Virtual_clock.t;
+  http : Http_sim.t;
+  rest : Rest.client;
+  top_window : Windows.t;
+  screen : Bom.screen;
+  navigator : Bom.navigator;
+  policy : Origin.policy;
+  uppercase_tags : bool;  (** IE's tag-upper-casing quirk (§5.1) *)
+  mutable alerts : string list;  (** chronological *)
+  mutable prompt_response : string;
+  mutable confirm_response : bool;
+  mutable render_count : int;  (** DOM mutations observed on the page *)
+  mutable ui_blocked : float;  (** virtual seconds spent inside dispatch *)
+  mutable events_dispatched : int;
+  mutable doc_observer : Dom.observer_id option;
+  mutable on_navigate : Windows.t -> string -> unit;
+  local_store : Local_store.t;
+      (** per-origin client-side XML storage (the Gears analogue, §2.4) *)
+  mutable online : bool;
+      (** when false, all network fetches fail — models working offline
+          against the local store *)
+  mutable script_errors : string list;
+      (** errors raised inside listeners (newest first), like a browser
+          error console *)
+}
+
+val create :
+  ?cache:bool ->
+  ?policy:Origin.policy ->
+  ?uppercase_tags:bool ->
+  ?navigator:Bom.navigator ->
+  ?screen:Bom.screen ->
+  ?clock:Virtual_clock.t ->
+  ?http:Http_sim.t ->
+  ?href:string ->
+  unit ->
+  t
+
+(** Install a document into a window (re-homes the render observer
+    when it is the focused top window's document). *)
+val set_document : t -> Windows.t -> Dom.node -> unit
+
+val document : t -> Dom.node
+
+(** Chronological list of alert messages. *)
+val alerts : t -> string list
+
+val clear_alerts : t -> unit
+
+(** {1 Event dispatch and user simulation} *)
+
+(** Dispatch an event synchronously, accounting the virtual time the
+    listeners consume as UI-blocked time. *)
+val dispatch :
+  t -> ?detail:(string * string) list -> target:Dom.node -> string -> unit
+
+(** Simulate a user click ([onclick] + [click]). *)
+val click : t -> Dom.node -> unit
+
+(** Simulate typing into an input: appends to its [value] attribute one
+    character at a time, firing [onkeyup] per keystroke (the AJAX
+    suggest workload of §4.4). *)
+val type_text : t -> Dom.node -> string -> unit
+
+(** Run queued asynchronous work (e.g. [behind] calls) to completion. *)
+val run : t -> unit
+
+(** {1 The XQuery host for a window}
+
+    Wires the paper's extension expressions to this browser: events to
+    the DOM event tables, [behind] to the event loop, styles to the
+    [style] attribute, blocks [fn:doc]/[fn:put] (§4.2.1), exposes the
+    virtual clock as the dynamic-context date/time. *)
+val host_for : t -> Windows.t -> Xquery.Dynamic_context.host

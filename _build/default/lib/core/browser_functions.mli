@@ -1,0 +1,15 @@
+(** The [browser:] function library (paper §4.2): window access
+    ([browser:top], [browser:self], [browser:document]), BOM access
+    ([browser:screen], [browser:navigator]), dialogs ([alert], [prompt],
+    [confirm]), window functions ([windowOpen], [windowClose],
+    [windowMoveBy], [windowMoveTo]), history functions ([historyBack],
+    [historyForward], [historyGo]) and document write functions.
+
+    Functions are registered as external functions in a static context,
+    closed over a browser and the window whose script is running. *)
+
+val namespace : string
+
+(** Register all [browser:] functions and bind the [browser] prefix.
+    Also blocks [fn:doc] and [fn:put] per the paper's security rules. *)
+val install : Browser.t -> Windows.t -> Xquery.Static_context.t -> unit

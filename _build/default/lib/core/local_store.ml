@@ -1,0 +1,20 @@
+type t = { table : (string * string, Dom.node) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 16 }
+let key origin name = (Origin.to_string origin, name)
+
+let put t ~origin ~name doc = Hashtbl.replace t.table (key origin name) doc
+let get t ~origin ~name = Hashtbl.find_opt t.table (key origin name)
+
+let delete t ~origin ~name =
+  let k = key origin name in
+  let existed = Hashtbl.mem t.table k in
+  Hashtbl.remove t.table k;
+  existed
+
+let list t ~origin =
+  let o = Origin.to_string origin in
+  Hashtbl.fold (fun (ko, name) _ acc -> if ko = o then name :: acc else acc) t.table []
+  |> List.sort String.compare
+
+let size t = Hashtbl.length t.table

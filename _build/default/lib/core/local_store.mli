@@ -1,0 +1,25 @@
+(** Client-side persistent XML storage — the Google Gears analogue the
+    paper positions XQuery against (§2.4: "our work on enabling XQuery
+    in Web browsers targets in exactly the same direction as Gears…
+    XQuery can also be used to facilitate client-side database access",
+    including running "even if the client is not connected").
+
+    One store per origin (like Gears' per-site databases): documents
+    put by pages of one origin are invisible to other origins. Exposed
+    to XQuery through the [browser:store*] functions registered by
+    {!Browser_functions}. *)
+
+type t
+
+val create : unit -> t
+
+(** Documents stored for an origin. *)
+val put : t -> origin:Origin.t -> name:string -> Dom.node -> unit
+
+(** Returns a live node: client code mutates it in place and the
+    mutations persist (like a local database). *)
+val get : t -> origin:Origin.t -> name:string -> Dom.node option
+
+val delete : t -> origin:Origin.t -> name:string -> bool
+val list : t -> origin:Origin.t -> string list
+val size : t -> int

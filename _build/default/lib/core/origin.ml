@@ -1,0 +1,34 @@
+type t = { scheme : string; host : string }
+
+let opaque = { scheme = "null"; host = "" }
+
+let of_uri uri =
+  match String.index_opt uri ':' with
+  | None -> opaque
+  | Some i ->
+      let scheme = String.sub uri 0 i in
+      let rest = String.sub uri (i + 1) (String.length uri - i - 1) in
+      if String.length rest >= 2 && String.sub rest 0 2 = "//" then
+        let after = String.sub rest 2 (String.length rest - 2) in
+        let host =
+          match String.index_opt after '/' with
+          | None -> after
+          | Some j -> String.sub after 0 j
+        in
+        { scheme; host }
+      else opaque
+
+let same_origin a b =
+  (not (a = opaque || b = opaque))
+  && String.equal a.scheme b.scheme
+  && String.equal a.host b.host
+
+let to_string { scheme; host } = scheme ^ "://" ^ host
+let equal a b = a = b
+
+type policy = Same_origin | Allow_all
+
+let allows policy ~accessor ~target =
+  match policy with
+  | Allow_all -> true
+  | Same_origin -> same_origin accessor target

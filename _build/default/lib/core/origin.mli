@@ -1,0 +1,20 @@
+(** Web origins and the same-origin policy the paper applies to window
+    nodes (§4.2.1): cross-origin window accessors return the empty
+    sequence, and [fn:doc]/[fn:put] are blocked in the browser. *)
+
+type t = { scheme : string; host : string }
+
+(** Parse the origin out of a URI; ["about:blank"] and relative URIs
+    yield the opaque origin. *)
+val of_uri : string -> t
+
+val opaque : t
+val same_origin : t -> t -> bool
+val to_string : t -> string
+val equal : t -> t -> bool
+
+type policy =
+  | Same_origin  (** the paper's suggested default *)
+  | Allow_all  (** for tests/benches that opt out *)
+
+val allows : policy -> accessor:t -> target:t -> bool

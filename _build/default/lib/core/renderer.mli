@@ -1,0 +1,20 @@
+(** A text renderer for pages — the "render the webpage" stage of the
+    paper's pipeline (Fig. 1), in the spirit of a terminal browser:
+    block elements break lines, headings are underlined, lists get
+    bullets, tables align columns, form controls draw as widgets.
+
+    Used by the CLI ([xqib page --render]) and by the F1 bench to give
+    the render stage a real cost. *)
+
+type options = {
+  width : int;  (** wrap width (default 72) *)
+  show_hidden : bool;  (** render elements with [style display: none] *)
+}
+
+val default_options : options
+
+(** Render a document (or element subtree) to text. *)
+val render : ?options:options -> Dom.node -> string
+
+(** Number of lines the rendering produced (cheap layout metric). *)
+val line_count : ?options:options -> Dom.node -> int

@@ -1,0 +1,1 @@
+lib/dom/dom.ml: Format Hashtbl Int List Option Printf Qname String Xml_parser Xml_serializer Xmlb

@@ -1,0 +1,1 @@
+lib/dom/dom.mli: Format Qname Xml_parser Xmlb

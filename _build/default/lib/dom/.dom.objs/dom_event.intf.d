@@ -1,0 +1,1 @@
+lib/dom/dom_event.mli: Dom

@@ -1,0 +1,524 @@
+open Xmlb
+
+type kind =
+  | Document
+  | Element
+  | Attribute
+  | Text
+  | Comment
+  | Processing_instruction
+
+type node = {
+  nid : int;
+  mutable nkind : payload;
+  mutable nparent : node option;
+}
+
+and payload =
+  | P_document of { mutable dchildren : node list; uri : string option }
+  | P_element of {
+      mutable ename : Qname.t;
+      mutable eattrs : node list;
+      mutable echildren : node list;
+    }
+  | P_attribute of { mutable aname : Qname.t; mutable avalue : string }
+  | P_text of { mutable tcontent : string }
+  | P_comment of { mutable ccontent : string }
+  | P_pi of { target : string; mutable pcontent : string }
+
+exception Dom_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Dom_error m)) fmt
+let counter = ref 0
+
+let fresh payload =
+  incr counter;
+  { nid = !counter; nkind = payload; nparent = None }
+
+let create_document ?uri () = fresh (P_document { dchildren = []; uri })
+
+let create_attribute name value = fresh (P_attribute { aname = name; avalue = value })
+
+let create_element ?(attrs = []) name =
+  let n = fresh (P_element { ename = name; eattrs = []; echildren = [] }) in
+  let make_attr (an, v) =
+    let a = create_attribute an v in
+    a.nparent <- Some n;
+    a
+  in
+  (match n.nkind with
+  | P_element e -> e.eattrs <- List.map make_attr attrs
+  | _ -> assert false);
+  n
+
+let create_text content = fresh (P_text { tcontent = content })
+let create_comment content = fresh (P_comment { ccontent = content })
+let create_pi ~target content = fresh (P_pi { target; pcontent = content })
+
+let kind n =
+  match n.nkind with
+  | P_document _ -> Document
+  | P_element _ -> Element
+  | P_attribute _ -> Attribute
+  | P_text _ -> Text
+  | P_comment _ -> Comment
+  | P_pi _ -> Processing_instruction
+
+let id n = n.nid
+
+let name n =
+  match n.nkind with
+  | P_element e -> Some e.ename
+  | P_attribute a -> Some a.aname
+  | P_pi p -> Some (Qname.make p.target)
+  | P_document _ | P_text _ | P_comment _ -> None
+
+let parent n = n.nparent
+
+let children n =
+  match n.nkind with
+  | P_document d -> d.dchildren
+  | P_element e -> e.echildren
+  | P_attribute _ | P_text _ | P_comment _ | P_pi _ -> []
+
+let attributes n =
+  match n.nkind with
+  | P_element e -> e.eattrs
+  | P_document _ | P_attribute _ | P_text _ | P_comment _ | P_pi _ -> []
+
+let attribute n qn =
+  List.find_map
+    (fun a ->
+      match a.nkind with
+      | P_attribute { aname; avalue } when Qname.equal aname qn -> Some avalue
+      | _ -> None)
+    (attributes n)
+
+let attribute_local n local =
+  List.find_map
+    (fun a ->
+      match a.nkind with
+      | P_attribute { aname; avalue } when String.equal aname.Qname.local local ->
+          Some avalue
+      | _ -> None)
+    (attributes n)
+
+let value n =
+  match n.nkind with
+  | P_attribute a -> Some a.avalue
+  | P_text t -> Some t.tcontent
+  | P_comment c -> Some c.ccontent
+  | P_pi p -> Some p.pcontent
+  | P_document _ | P_element _ -> None
+
+let document_uri n =
+  match n.nkind with P_document d -> d.uri | _ -> None
+
+let pi_target n = match n.nkind with P_pi p -> Some p.target | _ -> None
+
+let rec root n = match n.nparent with None -> n | Some p -> root p
+
+let rec string_value n =
+  match n.nkind with
+  | P_text t -> t.tcontent
+  | P_attribute a -> a.avalue
+  | P_comment c -> c.ccontent
+  | P_pi p -> p.pcontent
+  | P_document _ | P_element _ ->
+      String.concat ""
+        (List.filter_map
+           (fun c ->
+             match c.nkind with
+             | P_text _ | P_element _ -> Some (string_value c)
+             | P_document _ | P_attribute _ | P_comment _ | P_pi _ -> None)
+           (children n))
+
+(* nearest first *)
+let ancestors n =
+  let rec go acc n =
+    match n.nparent with None -> List.rev acc | Some p -> go (p :: acc) p
+  in
+  go [] n
+
+let descendants n =
+  let rec go acc n = List.fold_left (fun acc c -> go (c :: acc) c) acc (children n) in
+  List.rev (go [] n)
+
+let siblings_split n =
+  match n.nparent with
+  | None -> ([], [])
+  | Some p ->
+      let rec split before = function
+        | [] -> (List.rev before, [])
+        | c :: rest when c == n -> (List.rev before, rest)
+        | c :: rest -> split (c :: before) rest
+      in
+      split [] (children p)
+
+let following_siblings n = snd (siblings_split n)
+let preceding_siblings n = List.rev (fst (siblings_split n))
+
+(* Path from the root to the node: each step is a position index.
+   Attributes sort after their element but before its children; we encode
+   that with index -1 - attr_position so attributes order among
+   themselves and before child index 0 via a dedicated comparison. *)
+type step = Child_at of int | Attr_at of int
+
+let path_to_root n =
+  let rec go acc n =
+    match n.nparent with
+    | None -> acc
+    | Some p ->
+        let step =
+          match n.nkind with
+          | P_attribute _ ->
+              let rec idx i = function
+                | [] -> err "attribute not in parent's attribute list"
+                | a :: _ when a == n -> i
+                | _ :: rest -> idx (i + 1) rest
+              in
+              Attr_at (idx 0 (attributes p))
+          | _ ->
+              let rec idx i = function
+                | [] -> err "node not in parent's child list"
+                | c :: _ when c == n -> i
+                | _ :: rest -> idx (i + 1) rest
+              in
+              Child_at (idx 0 (children p))
+        in
+        go (step :: acc) p
+  in
+  go [] n
+
+let compare_step a b =
+  match (a, b) with
+  | Attr_at i, Attr_at j -> Int.compare i j
+  | Attr_at _, Child_at _ -> -1
+  | Child_at _, Attr_at _ -> 1
+  | Child_at i, Child_at j -> Int.compare i j
+
+let compare_order a b =
+  if a == b then 0
+  else
+    let ra = root a and rb = root b in
+    if ra != rb then Int.compare ra.nid rb.nid
+    else
+      let rec cmp pa pb =
+        match (pa, pb) with
+        | [], [] -> 0
+        | [], _ -> -1 (* a is an ancestor of b: a first *)
+        | _, [] -> 1
+        | sa :: ra, sb :: rb ->
+            let c = compare_step sa sb in
+            if c <> 0 then c else cmp ra rb
+      in
+      cmp (path_to_root a) (path_to_root b)
+
+let is_ancestor ~ancestor n =
+  let rec go n =
+    match n.nparent with
+    | None -> false
+    | Some p -> p == ancestor || go p
+  in
+  go n
+
+let equal a b = a == b
+
+(* ------------------------------------------------------------------ *)
+(* Mutation observers                                                  *)
+
+type mutation =
+  | Children_changed of node
+  | Attribute_changed of node * Qname.t
+  | Value_changed of node
+  | Renamed of node
+
+type observer_id = int
+
+type observer = { oid : int; oroot : node; callback : mutation -> unit }
+
+let observers : (int, observer) Hashtbl.t = Hashtbl.create 16
+let observer_counter = ref 0
+
+let observe ~root:oroot callback =
+  incr observer_counter;
+  let o = { oid = !observer_counter; oroot; callback } in
+  Hashtbl.replace observers o.oid o;
+  o.oid
+
+let unobserve oid = Hashtbl.remove observers oid
+
+let notify node mutation =
+  if Hashtbl.length observers > 0 then begin
+    let r = root node in
+    Hashtbl.iter (fun _ o -> if o.oroot == r then o.callback mutation) observers
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+
+let assert_insertable n =
+  match n.nkind with
+  | P_attribute _ -> err "cannot insert an attribute node as a child"
+  | P_document _ -> err "cannot insert a document node as a child"
+  | P_element _ | P_text _ | P_comment _ | P_pi _ -> ()
+
+let set_children parent cs =
+  match parent.nkind with
+  | P_document d -> d.dchildren <- cs
+  | P_element e -> e.echildren <- cs
+  | P_attribute _ | P_text _ | P_comment _ | P_pi _ ->
+      err "this node kind cannot have children"
+
+let detach n =
+  match n.nparent with
+  | None -> ()
+  | Some p ->
+      (match n.nkind with
+      | P_attribute _ -> (
+          match p.nkind with
+          | P_element e -> e.eattrs <- List.filter (fun a -> a != n) e.eattrs
+          | _ -> ())
+      | _ -> set_children p (List.filter (fun c -> c != n) (children p)));
+      n.nparent <- None
+
+let remove n =
+  match n.nparent with
+  | None -> ()
+  | Some p ->
+      let is_attr = match n.nkind with P_attribute _ -> true | _ -> false in
+      detach n;
+      if is_attr then
+        notify p (Attribute_changed (p, Option.get (name n)))
+      else notify p (Children_changed p)
+
+let append_child ~parent n =
+  assert_insertable n;
+  detach n;
+  set_children parent (children parent @ [ n ]);
+  n.nparent <- Some parent;
+  notify parent (Children_changed parent)
+
+let insert_first ~parent n =
+  assert_insertable n;
+  detach n;
+  set_children parent (n :: children parent);
+  n.nparent <- Some parent;
+  notify parent (Children_changed parent)
+
+let insert_relative ~before ~sibling n =
+  assert_insertable n;
+  match sibling.nparent with
+  | None -> err "cannot insert relative to a parentless node"
+  | Some p ->
+      detach n;
+      let rec weave = function
+        | [] -> [ n ] (* sibling vanished concurrently; append *)
+        | c :: rest when c == sibling ->
+            if before then n :: c :: rest else c :: n :: rest
+        | c :: rest -> c :: weave rest
+      in
+      set_children p (weave (children p));
+      n.nparent <- Some p;
+      notify p (Children_changed p)
+
+let insert_before ~sibling n = insert_relative ~before:true ~sibling n
+let insert_after ~sibling n = insert_relative ~before:false ~sibling n
+
+let replace n replacements =
+  match n.nparent with
+  | None -> err "cannot replace a parentless node"
+  | Some p -> (
+      match n.nkind with
+      | P_attribute _ ->
+          detach n;
+          List.iter
+            (fun r ->
+              match r.nkind with
+              | P_attribute _ ->
+                  detach r;
+                  (match p.nkind with
+                  | P_element e -> e.eattrs <- e.eattrs @ [ r ]
+                  | _ -> err "attribute replacement target is not an element");
+                  r.nparent <- Some p
+              | _ -> err "an attribute can only be replaced by attributes")
+            replacements;
+          notify p (Attribute_changed (p, Option.get (name n)))
+      | _ ->
+          List.iter assert_insertable replacements;
+          let rec weave = function
+            | [] -> err "node not found in parent during replace"
+            | c :: rest when c == n -> replacements @ rest
+            | c :: rest -> c :: weave rest
+          in
+          set_children p (weave (children p));
+          n.nparent <- None;
+          List.iter (fun r -> r.nparent <- Some p) replacements;
+          notify p (Children_changed p))
+
+let set_value n v =
+  (match n.nkind with
+  | P_attribute a -> a.avalue <- v
+  | P_text t -> t.tcontent <- v
+  | P_comment c -> c.ccontent <- v
+  | P_pi p -> p.pcontent <- v
+  | P_element _ | P_document _ ->
+      List.iter detach (children n);
+      let t = create_text v in
+      set_children n [ t ];
+      t.nparent <- Some n);
+  notify n (Value_changed n)
+
+let rename n qn =
+  (match n.nkind with
+  | P_element e -> e.ename <- qn
+  | P_attribute a -> a.aname <- qn
+  | P_document _ | P_text _ | P_comment _ | P_pi _ ->
+      err "only elements and attributes can be renamed");
+  notify n (Renamed n)
+
+let set_attribute el qn v =
+  match el.nkind with
+  | P_element e -> (
+      match
+        List.find_opt
+          (fun a ->
+            match a.nkind with
+            | P_attribute { aname; _ } -> Qname.equal aname qn
+            | _ -> false)
+          e.eattrs
+      with
+      | Some a ->
+          (match a.nkind with
+          | P_attribute r -> r.avalue <- v
+          | _ -> assert false);
+          notify el (Attribute_changed (el, qn))
+      | None ->
+          let a = create_attribute qn v in
+          a.nparent <- Some el;
+          e.eattrs <- e.eattrs @ [ a ];
+          notify el (Attribute_changed (el, qn)))
+  | _ -> err "set_attribute: not an element"
+
+let remove_attribute el qn =
+  match el.nkind with
+  | P_element e ->
+      e.eattrs <-
+        List.filter
+          (fun a ->
+            match a.nkind with
+            | P_attribute { aname; _ } -> not (Qname.equal aname qn)
+            | _ -> true)
+          e.eattrs;
+      notify el (Attribute_changed (el, qn))
+  | _ -> err "remove_attribute: not an element"
+
+let append_attribute ~parent a =
+  match (parent.nkind, a.nkind) with
+  | P_element e, P_attribute { aname; _ } ->
+      detach a;
+      e.eattrs <- e.eattrs @ [ a ];
+      a.nparent <- Some parent;
+      notify parent (Attribute_changed (parent, aname))
+  | _ -> err "append_attribute: expects an element and an attribute"
+
+let rec clone n =
+  match n.nkind with
+  | P_document d ->
+      let doc = create_document ?uri:d.uri () in
+      List.iter (fun c -> append_child ~parent:doc (clone c)) d.dchildren;
+      doc
+  | P_element e ->
+      let el = create_element e.ename in
+      List.iter
+        (fun a ->
+          match a.nkind with
+          | P_attribute { aname; avalue } -> set_attribute el aname avalue
+          | _ -> ())
+        e.eattrs;
+      List.iter (fun c -> append_child ~parent:el (clone c)) e.echildren;
+      el
+  | P_attribute a -> create_attribute a.aname a.avalue
+  | P_text t -> create_text t.tcontent
+  | P_comment c -> create_comment c.ccontent
+  | P_pi p -> create_pi ~target:p.target p.pcontent
+
+(* ------------------------------------------------------------------ *)
+(* Conversion                                                          *)
+
+let rec node_of_tree = function
+  | Xml_parser.Text t -> create_text t
+  | Xml_parser.Comment c -> create_comment c
+  | Xml_parser.Pi (target, data) -> create_pi ~target data
+  | Xml_parser.Element (name, attrs, children) ->
+      let el =
+        create_element
+          ~attrs:(List.map (fun a -> (a.Xml_parser.name, a.Xml_parser.value)) attrs)
+          name
+      in
+      List.iter (fun c -> append_child ~parent:el (node_of_tree c)) children;
+      el
+
+let of_tree trees =
+  let doc = create_document () in
+  List.iter (fun t -> append_child ~parent:doc (node_of_tree t)) trees;
+  doc
+
+let of_string ?options src = of_tree (Xml_parser.parse ?options src)
+
+let rec to_tree n : Xml_parser.tree =
+  match n.nkind with
+  | P_text t -> Xml_parser.Text t.tcontent
+  | P_comment c -> Xml_parser.Comment c.ccontent
+  | P_pi p -> Xml_parser.Pi (p.target, p.pcontent)
+  | P_attribute a ->
+      (* standalone attribute: serialize as empty element for diagnostics *)
+      Xml_parser.Element (a.aname, [], [ Xml_parser.Text a.avalue ])
+  | P_element e ->
+      let attrs =
+        List.filter_map
+          (fun a ->
+            match a.nkind with
+            | P_attribute { aname; avalue } ->
+                Some { Xml_parser.name = aname; value = avalue }
+            | _ -> None)
+          e.eattrs
+      in
+      Xml_parser.Element (e.ename, attrs, List.map to_tree e.echildren)
+  | P_document d -> (
+      match d.dchildren with
+      | [ c ] -> to_tree c
+      | _ -> Xml_parser.Element (Qname.make "document", [], List.map to_tree d.dchildren))
+
+let to_trees n =
+  match n.nkind with
+  | P_document d -> List.map to_tree d.dchildren
+  | _ -> [ to_tree n ]
+
+let serialize ?(indent = false) n =
+  Xml_serializer.list_to_string
+    ~options:{ Xml_serializer.indent; xml_declaration = false }
+    (to_trees n)
+
+let pp ppf n = Format.pp_print_string ppf (serialize n)
+
+let get_element_by_id n idv =
+  let candidates = match n.nkind with P_element _ -> n :: descendants n | _ -> descendants n in
+  List.find_opt
+    (fun c ->
+      match c.nkind with
+      | P_element _ -> (
+          match attribute_local c "id" with
+          | Some v -> String.equal v idv
+          | None -> false)
+      | _ -> false)
+    candidates
+
+let get_elements_by_local_name n local =
+  let candidates = match n.nkind with P_element _ -> n :: descendants n | _ -> descendants n in
+  List.filter
+    (fun c ->
+      match c.nkind with
+      | P_element e -> String.equal e.ename.Qname.local local
+      | _ -> false)
+    candidates

@@ -1,0 +1,158 @@
+(** A mutable DOM: the tree the browser renders and XQuery queries.
+
+    This mirrors the W3C DOM core subset a browser scripting language
+    needs — documents, elements, attributes, text, comments, processing
+    instructions — with structural mutation, document order, and
+    mutation observers (used by the browser runtime to track dirtying
+    and to synchronise the window tree, cf. paper §5.2 where the XDM
+    store wraps the DOM). *)
+
+open Xmlb
+
+type node
+
+type kind =
+  | Document
+  | Element
+  | Attribute
+  | Text
+  | Comment
+  | Processing_instruction
+
+exception Dom_error of string
+
+(** {1 Construction} *)
+
+val create_document : ?uri:string -> unit -> node
+val create_element : ?attrs:(Qname.t * string) list -> Qname.t -> node
+val create_attribute : Qname.t -> string -> node
+val create_text : string -> node
+val create_comment : string -> node
+val create_pi : target:string -> string -> node
+
+(** Deep copy; the copy has no parent and fresh node identities. *)
+val clone : node -> node
+
+(** {1 Inspection} *)
+
+val kind : node -> kind
+
+(** Unique node identity (creation order). *)
+val id : node -> int
+
+val name : node -> Qname.t option
+val parent : node -> node option
+
+(** Children, excluding attributes. Documents and elements only;
+    other kinds return []. *)
+val children : node -> node list
+
+val attributes : node -> node list
+val attribute : node -> Qname.t -> string option
+
+(** Like {!attribute} but matches on local name only (namespace
+    ignored) — convenient for HTML-ish documents. *)
+val attribute_local : node -> string -> string option
+
+(** Node value: attribute/text/comment/PI content; [None] for
+    documents and elements. *)
+val value : node -> string option
+
+(** The URI a document node was created with ([fn:document-uri]). *)
+val document_uri : node -> string option
+
+val pi_target : node -> string option
+
+(** The root of the tree containing the node (a document node if the
+    tree is rooted in one, else the topmost element). *)
+val root : node -> node
+
+(** XDM string value: concatenation of descendant text for
+    documents/elements, content otherwise. *)
+val string_value : node -> string
+
+val ancestors : node -> node list
+
+(** Descendants in document order, excluding the node itself and
+    attributes. *)
+val descendants : node -> node list
+
+val following_siblings : node -> node list
+val preceding_siblings : node -> node list
+
+(** [compare_order a b] orders nodes in document order. Nodes from
+    different trees are ordered by their root's identity (stable,
+    implementation-defined, as XDM permits). *)
+val compare_order : node -> node -> int
+
+val is_ancestor : ancestor:node -> node -> bool
+val equal : node -> node -> bool
+
+(** {1 Mutation}
+
+    All mutation functions notify the observers registered on the
+    mutated tree's root. *)
+
+val append_child : parent:node -> node -> unit
+val insert_first : parent:node -> node -> unit
+val insert_before : sibling:node -> node -> unit
+val insert_after : sibling:node -> node -> unit
+
+(** Detach from parent; no-op for parentless nodes. *)
+val remove : node -> unit
+
+(** Replace a node with a list of nodes (empty list = delete).
+    @raise Dom_error if the node has no parent. *)
+val replace : node -> node list -> unit
+
+(** Set the value of an attribute/text/comment/PI node; for an element
+    or document, replaces all children with a single text node
+    (XQUF [replace value of node] semantics). *)
+val set_value : node -> string -> unit
+
+val rename : node -> Qname.t -> unit
+
+(** Sets (or replaces) an attribute on an element. *)
+val set_attribute : node -> Qname.t -> string -> unit
+
+val remove_attribute : node -> Qname.t -> unit
+
+(** Attach a parentless attribute node to an element. *)
+val append_attribute : parent:node -> node -> unit
+
+(** {1 Mutation observers} *)
+
+type mutation =
+  | Children_changed of node  (** the parent whose child list changed *)
+  | Attribute_changed of node * Qname.t  (** element, attribute name *)
+  | Value_changed of node
+  | Renamed of node
+
+type observer_id
+
+(** Observe all mutations in the tree rooted at [root]. *)
+val observe : root:node -> (mutation -> unit) -> observer_id
+
+val unobserve : observer_id -> unit
+
+(** {1 Conversion} *)
+
+(** Build a document node from parsed XML. *)
+val of_tree : Xml_parser.tree list -> node
+
+val of_string : ?options:Xml_parser.options -> string -> node
+
+(** Convert (element/text/comment/PI or document) to the immutable
+    tree representation; a document converts to its children.  *)
+val to_trees : node -> Xml_parser.tree list
+
+val serialize : ?indent:bool -> node -> string
+val pp : Format.formatter -> node -> unit
+
+(** Find the first descendant element with the given [id] attribute
+    value (HTML [getElementById]). *)
+val get_element_by_id : node -> string -> node option
+
+(** All descendant elements (including self if element) with the given
+    local name, any namespace. *)
+val get_elements_by_local_name : node -> string -> node list

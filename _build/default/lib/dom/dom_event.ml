@@ -1,0 +1,137 @@
+type phase = Capturing | At_target | Bubbling
+
+type event = {
+  event_type : string;
+  target : Dom.node;
+  mutable current_target : Dom.node option;
+  mutable phase : phase;
+  mutable propagation_stopped : bool;
+  mutable default_prevented : bool;
+  detail : (string * string) list;
+  payload : Dom.node option;
+}
+
+let make_event ?(detail = []) ?payload ~event_type ~target () =
+  {
+    event_type;
+    target;
+    current_target = None;
+    phase = At_target;
+    propagation_stopped = false;
+    default_prevented = false;
+    detail;
+    payload;
+  }
+
+let stop_propagation e = e.propagation_stopped <- true
+let prevent_default e = e.default_prevented <- true
+
+type listener = {
+  lid : int;
+  node : Dom.node;
+  event_type : string;
+  capture : bool;
+  lname : string option;
+  callback : event -> unit;
+}
+
+type listener_id = int
+
+(* node id -> listeners, in registration order *)
+let table : (int, listener list) Hashtbl.t = Hashtbl.create 64
+let listener_counter = ref 0
+let invocations = ref 0
+
+let node_listeners node = Option.value ~default:[] (Hashtbl.find_opt table (Dom.id node))
+
+let set_node_listeners node ls =
+  if ls = [] then Hashtbl.remove table (Dom.id node)
+  else Hashtbl.replace table (Dom.id node) ls
+
+let add_listener node ~event_type ?(capture = false) ?name callback =
+  incr listener_counter;
+  let l = { lid = !listener_counter; node; event_type; capture; lname = name; callback } in
+  let existing = node_listeners node in
+  let existing =
+    match name with
+    | None -> existing
+    | Some n ->
+        List.filter
+          (fun o ->
+            not
+              (o.lname = Some n
+              && String.equal o.event_type event_type
+              && o.capture = capture))
+          existing
+  in
+  set_node_listeners node (existing @ [ l ]);
+  l.lid
+
+let remove_listener lid =
+  let found = ref None in
+  Hashtbl.iter
+    (fun nid ls -> if List.exists (fun l -> l.lid = lid) ls then found := Some (nid, ls))
+    table;
+  match !found with
+  | None -> ()
+  | Some (nid, ls) -> (
+      match List.filter (fun l -> l.lid <> lid) ls with
+      | [] -> Hashtbl.remove table nid
+      | ls -> Hashtbl.replace table nid ls)
+
+let remove_named_listener node ~event_type ~name =
+  let ls = node_listeners node in
+  let keep, drop =
+    List.partition
+      (fun l -> not (l.lname = Some name && String.equal l.event_type event_type))
+      ls
+  in
+  set_node_listeners node keep;
+  List.length drop
+
+let listener_count node = List.length (node_listeners node)
+
+let invoke_phase event node =
+  event.current_target <- Some node;
+  let matching =
+    List.filter
+      (fun l ->
+        String.equal l.event_type event.event_type
+        &&
+        match event.phase with
+        | Capturing -> l.capture
+        | At_target -> true
+        | Bubbling -> not l.capture)
+      (node_listeners node)
+  in
+  List.iter
+    (fun l ->
+      if not event.propagation_stopped then begin
+        incr invocations;
+        l.callback event
+      end)
+    matching
+
+let dispatch event =
+  let chain = Dom.ancestors event.target in
+  (* nearest-first per Dom.ancestors; capture goes root -> target *)
+  let top_down = List.rev chain in
+  event.phase <- Capturing;
+  List.iter
+    (fun n -> if not event.propagation_stopped then invoke_phase event n)
+    top_down;
+  if not event.propagation_stopped then begin
+    event.phase <- At_target;
+    invoke_phase event event.target
+  end;
+  event.phase <- Bubbling;
+  List.iter
+    (fun n -> if not event.propagation_stopped then invoke_phase event n)
+    chain;
+  not event.default_prevented
+
+let fire ?detail ?payload ~event_type ~target () =
+  dispatch (make_event ?detail ?payload ~event_type ~target ())
+
+let invocation_count () = !invocations
+let reset () = Hashtbl.reset table

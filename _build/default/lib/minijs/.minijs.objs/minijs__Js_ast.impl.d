@@ -1,0 +1,1 @@
+lib/minijs/js_ast.ml:

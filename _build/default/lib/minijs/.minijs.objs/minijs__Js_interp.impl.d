@@ -1,0 +1,1 @@
+lib/minijs/js_interp.ml: Array Buffer Char Dom Dom_event Float Fun Hashtbl Http_sim Js_ast Js_parser List Logs Option Printf Str String Virtual_clock Xdm_item Xmlb Xqib Xquery

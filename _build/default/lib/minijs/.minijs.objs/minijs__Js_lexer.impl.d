@@ -1,0 +1,1 @@
+lib/minijs/js_lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/minijs/js_parser.ml: Js_ast Js_lexer List Printf

@@ -1,0 +1,47 @@
+(** Abstract syntax for the JavaScript subset — the paper's baseline
+    language (§2.1, §2.2, §6.2, §6.3): enough to run every JavaScript
+    example in the paper, including embedded XPath via
+    [document.evaluate]. *)
+
+type expr =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Null
+  | Undefined
+  | Var of string
+  | This
+  | Array_lit of expr list
+  | Object_lit of (string * expr) list
+  | Func of string option * string list * stmt list  (** function expression *)
+  | Unop of string * expr  (** [! - + typeof ++pre --pre] *)
+  | Postop of string * expr  (** [x++ x--] *)
+  | Binop of string * expr * expr
+  | Logical of string * expr * expr  (** [&& ||] (short-circuit) *)
+  | Ternary of expr * expr * expr
+  | Assign of string * expr * expr  (** operator ("=", "+=" …), lhs, rhs *)
+  | Call of expr * expr list
+  | New_expr of expr * expr list
+  | Member of expr * string  (** [a.b] *)
+  | Index of expr * expr  (** [a\[b\]] *)
+
+and stmt =
+  | Expr_stmt of expr
+  | Var_decl of (string * expr option) list
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * expr option * stmt list
+  | For_in of string * expr * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Throw of expr
+  | Try of stmt list * (string * stmt list) option * stmt list
+      (** try / catch (param) / finally *)
+  | Switch of expr * (expr option * stmt list) list
+      (** cases; [None] = default *)
+  | Do_while of stmt list * expr
+  | Func_decl of string * string list * stmt list
+  | Block of stmt list
+
+type program = stmt list

@@ -1,0 +1,127 @@
+(** Tokenizer for the JavaScript subset. *)
+
+type token =
+  | TNum of float
+  | TStr of string
+  | TIdent of string
+  | TPunct of string
+  | TEof
+
+exception Js_syntax_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Js_syntax_error m)) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* punctuators, longest first *)
+let punctuators =
+  [
+    "==="; "!=="; "<<="; ">>="; "++"; "--"; "&&"; "||"; "=="; "!="; "<=";
+    ">="; "+="; "-="; "*="; "/="; "%="; "{"; "}"; "("; ")"; "["; "]"; ";";
+    ","; "."; "<"; ">"; "+"; "-"; "*"; "/"; "%"; "="; "!"; "?"; ":"; "&"; "|";
+  ]
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then fail "unterminated comment"
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+        else begin
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if c = '"' || c = '\'' then begin
+      let q = c in
+      let buf = Buffer.create 16 in
+      incr i;
+      let rec go () =
+        if !i >= n then fail "unterminated string"
+        else if src.[!i] = q then incr i
+        else if src.[!i] = '\\' && !i + 1 < n then begin
+          (match src.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | c -> Buffer.add_char buf c);
+          i := !i + 2;
+          go ()
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i;
+          go ()
+        end
+      in
+      go ();
+      push (TStr (Buffer.contents buf))
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      let seen_dot = ref false in
+      while
+        !i < n
+        && (is_digit src.[!i] || (src.[!i] = '.' && not !seen_dot))
+      do
+        if src.[!i] = '.' then seen_dot := true;
+        incr i
+      done;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E')
+         && !i + 1 < n
+         && (is_digit src.[!i + 1]
+            || ((src.[!i + 1] = '+' || src.[!i + 1] = '-')
+               && !i + 2 < n
+               && is_digit src.[!i + 2]))
+      then begin
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done
+      end;
+      match float_of_string_opt (String.sub src start (!i - start)) with
+      | Some f -> push (TNum f)
+      | None -> fail "malformed number literal"
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (TIdent (String.sub src start (!i - start)))
+    end
+    else begin
+      match
+        List.find_opt
+          (fun p ->
+            let l = String.length p in
+            !i + l <= n && String.sub src !i l = p)
+          punctuators
+      with
+      | Some p ->
+          i := !i + String.length p;
+          push (TPunct p)
+      | None -> fail "unexpected character %C" c
+    end
+  done;
+  List.rev (TEof :: !toks)

@@ -1,0 +1,431 @@
+(** Recursive-descent parser for the JavaScript subset. *)
+
+open Js_ast
+open Js_lexer
+
+type state = { mutable toks : token list }
+
+let fail = Js_lexer.fail
+
+let tok_to_string = function
+  | TNum f -> string_of_float f
+  | TStr s -> Printf.sprintf "%S" s
+  | TIdent i -> i
+  | TPunct p -> p
+  | TEof -> "<eof>"
+
+let peek st = match st.toks with [] -> TEof | t :: _ -> t
+
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> TEof
+
+let next st =
+  match st.toks with
+  | [] -> TEof
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st p =
+  match next st with
+  | TPunct q when q = p -> ()
+  | t -> fail "expected %S, found %s" p (tok_to_string t)
+
+let accept st p =
+  match peek st with
+  | TPunct q when q = p ->
+      ignore (next st);
+      true
+  | _ -> false
+
+let accept_kw st kw =
+  match peek st with
+  | TIdent i when i = kw ->
+      ignore (next st);
+      true
+  | _ -> false
+
+let expect_ident st =
+  match next st with
+  | TIdent i -> i
+  | t -> fail "expected an identifier, found %s" (tok_to_string t)
+
+let rec parse_primary st =
+  match next st with
+  | TNum f -> Num f
+  | TStr s -> Str s
+  | TIdent "true" -> Bool true
+  | TIdent "false" -> Bool false
+  | TIdent "null" -> Null
+  | TIdent "undefined" -> Undefined
+  | TIdent "this" -> This
+  | TIdent "function" ->
+      let name =
+        match peek st with
+        | TIdent i ->
+            ignore (next st);
+            Some i
+        | _ -> None
+      in
+      let params = parse_params st in
+      let body = parse_block st in
+      Func (name, params, body)
+  | TIdent "new" ->
+      let callee = parse_member_chain st (parse_primary st) ~no_call:true in
+      let args = if peek st = TPunct "(" then parse_args st else [] in
+      New_expr (callee, args)
+  | TIdent i -> Var i
+  | TPunct "(" ->
+      let e = parse_expr st in
+      expect st ")";
+      e
+  | TPunct "[" ->
+      let rec items acc =
+        if accept st "]" then List.rev acc
+        else begin
+          let e = parse_assign st in
+          if accept st "," then items (e :: acc)
+          else begin
+            expect st "]";
+            List.rev (e :: acc)
+          end
+        end
+      in
+      Array_lit (items [])
+  | TPunct "{" ->
+      let rec props acc =
+        if accept st "}" then List.rev acc
+        else begin
+          let key =
+            match next st with
+            | TIdent i -> i
+            | TStr s -> s
+            | TNum f -> string_of_float f
+            | t -> fail "expected a property name, found %s" (tok_to_string t)
+          in
+          expect st ":";
+          let v = parse_assign st in
+          if accept st "," then props ((key, v) :: acc)
+          else begin
+            expect st "}";
+            List.rev ((key, v) :: acc)
+          end
+        end
+      in
+      Object_lit (props [])
+  | t -> fail "unexpected token %s" (tok_to_string t)
+
+and parse_args st =
+  expect st "(";
+  if accept st ")" then []
+  else begin
+    let rec args acc =
+      let a = parse_assign st in
+      if accept st "," then args (a :: acc)
+      else begin
+        expect st ")";
+        List.rev (a :: acc)
+      end
+    in
+    args []
+  end
+
+and parse_member_chain st base ~no_call =
+  match peek st with
+  | TPunct "." ->
+      ignore (next st);
+      let name = expect_ident st in
+      parse_member_chain st (Member (base, name)) ~no_call
+  | TPunct "[" ->
+      ignore (next st);
+      let idx = parse_expr st in
+      expect st "]";
+      parse_member_chain st (Index (base, idx)) ~no_call
+  | TPunct "(" when not no_call ->
+      let args = parse_args st in
+      parse_member_chain st (Call (base, args)) ~no_call
+  | _ -> base
+
+and parse_postfix st =
+  let e = parse_member_chain st (parse_primary st) ~no_call:false in
+  match peek st with
+  | TPunct "++" ->
+      ignore (next st);
+      Postop ("++", e)
+  | TPunct "--" ->
+      ignore (next st);
+      Postop ("--", e)
+  | _ -> e
+
+and parse_unary st =
+  match peek st with
+  | TPunct "!" ->
+      ignore (next st);
+      Unop ("!", parse_unary st)
+  | TPunct "-" ->
+      ignore (next st);
+      Unop ("-", parse_unary st)
+  | TPunct "+" ->
+      ignore (next st);
+      Unop ("+", parse_unary st)
+  | TPunct "++" ->
+      ignore (next st);
+      Unop ("++", parse_unary st)
+  | TPunct "--" ->
+      ignore (next st);
+      Unop ("--", parse_unary st)
+  | TIdent "typeof" ->
+      ignore (next st);
+      Unop ("typeof", parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_binary st min_prec =
+  let prec = function
+    | "*" | "/" | "%" -> 7
+    | "+" | "-" -> 6
+    | "<" | "<=" | ">" | ">=" -> 5
+    | "==" | "!=" | "===" | "!==" -> 4
+    | "&&" -> 3
+    | "||" -> 2
+    | _ -> -1
+  in
+  let rec loop lhs =
+    match peek st with
+    | TPunct op when prec op >= min_prec && prec op >= 0 ->
+        ignore (next st);
+        let rhs = parse_binary st (prec op + 1) in
+        let node =
+          if op = "&&" || op = "||" then Logical (op, lhs, rhs)
+          else Binop (op, lhs, rhs)
+        in
+        loop node
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_ternary st =
+  let cond = parse_binary st 0 in
+  if accept st "?" then begin
+    let t = parse_assign st in
+    expect st ":";
+    let f = parse_assign st in
+    Ternary (cond, t, f)
+  end
+  else cond
+
+and parse_assign st =
+  let lhs = parse_ternary st in
+  match peek st with
+  | TPunct (("=" | "+=" | "-=" | "*=" | "/=" | "%=") as op) -> (
+      match lhs with
+      | Var _ | Member _ | Index _ ->
+          ignore (next st);
+          Assign (op, lhs, parse_assign st)
+      | _ -> fail "invalid assignment target")
+  | _ -> lhs
+
+and parse_expr st =
+  (* comma operator: evaluate left, return right *)
+  let e = parse_assign st in
+  if accept st "," then
+    let rest = parse_expr st in
+    Binop (",", e, rest)
+  else e
+
+and parse_params st =
+  expect st "(";
+  if accept st ")" then []
+  else begin
+    let rec params acc =
+      let p = expect_ident st in
+      if accept st "," then params (p :: acc)
+      else begin
+        expect st ")";
+        List.rev (p :: acc)
+      end
+    in
+    params []
+  end
+
+and parse_block st =
+  expect st "{";
+  let rec stmts acc =
+    if accept st "}" then List.rev acc else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+and parse_stmt_or_block st =
+  if peek st = TPunct "{" then parse_block st else [ parse_stmt st ]
+
+and parse_stmt st : stmt =
+  match peek st with
+  | TPunct "{" -> Block (parse_block st)
+  | TPunct ";" ->
+      ignore (next st);
+      Block []
+  | TIdent "var" ->
+      ignore (next st);
+      let rec decls acc =
+        let name = expect_ident st in
+        let init = if accept st "=" then Some (parse_assign st) else None in
+        if accept st "," then decls ((name, init) :: acc)
+        else begin
+          ignore (accept st ";");
+          List.rev ((name, init) :: acc)
+        end
+      in
+      Var_decl (decls [])
+  | TIdent "if" ->
+      ignore (next st);
+      expect st "(";
+      let cond = parse_expr st in
+      expect st ")";
+      let then_branch = parse_stmt_or_block st in
+      let else_branch =
+        if accept_kw st "else" then parse_stmt_or_block st else []
+      in
+      If (cond, then_branch, else_branch)
+  | TIdent "while" ->
+      ignore (next st);
+      expect st "(";
+      let cond = parse_expr st in
+      expect st ")";
+      While (cond, parse_stmt_or_block st)
+  | TIdent "for" ->
+      ignore (next st);
+      expect st "(";
+      (* for (var x in e) | for (init; cond; step) *)
+      if
+        (match (peek st, peek2 st) with
+        | TIdent "var", TIdent _ -> true
+        | TIdent _, TIdent "in" -> true
+        | _ -> false)
+        &&
+        let snapshot = st.toks in
+        let is_for_in =
+          ignore (accept_kw st "var");
+          let _ = expect_ident st in
+          let r = accept_kw st "in" in
+          st.toks <- snapshot;
+          r
+        in
+        is_for_in
+      then begin
+        ignore (accept_kw st "var");
+        let name = expect_ident st in
+        let _ = accept_kw st "in" in
+        let src = parse_expr st in
+        expect st ")";
+        For_in (name, src, parse_stmt_or_block st)
+      end
+      else begin
+        let init =
+          if peek st = TPunct ";" then None else Some (parse_stmt st)
+        in
+        ignore (accept st ";");
+        let cond = if peek st = TPunct ";" then None else Some (parse_expr st) in
+        expect st ";";
+        let step = if peek st = TPunct ")" then None else Some (parse_expr st) in
+        expect st ")";
+        For (init, cond, step, parse_stmt_or_block st)
+      end
+  | TIdent "throw" ->
+      ignore (next st);
+      let e = parse_expr st in
+      ignore (accept st ";");
+      Throw e
+  | TIdent "try" ->
+      ignore (next st);
+      let body = parse_block st in
+      let catch =
+        if accept_kw st "catch" then begin
+          expect st "(";
+          let name = expect_ident st in
+          expect st ")";
+          Some (name, parse_block st)
+        end
+        else None
+      in
+      let finally = if accept_kw st "finally" then parse_block st else [] in
+      if catch = None && finally = [] then
+        fail "try without catch or finally"
+      else Try (body, catch, finally)
+  | TIdent "switch" ->
+      ignore (next st);
+      expect st "(";
+      let scrutinee = parse_expr st in
+      expect st ")";
+      expect st "{";
+      let rec cases acc =
+        if accept st "}" then List.rev acc
+        else if accept_kw st "case" then begin
+          let v = parse_expr st in
+          expect st ":";
+          let rec stmts acc2 =
+            match peek st with
+            | TIdent "case" | TIdent "default" | TPunct "}" -> List.rev acc2
+            | _ -> stmts (parse_stmt st :: acc2)
+          in
+          cases ((Some v, stmts []) :: acc)
+        end
+        else if accept_kw st "default" then begin
+          expect st ":";
+          let rec stmts acc2 =
+            match peek st with
+            | TIdent "case" | TIdent "default" | TPunct "}" -> List.rev acc2
+            | _ -> stmts (parse_stmt st :: acc2)
+          in
+          cases ((None, stmts []) :: acc)
+        end
+        else fail "expected case/default in switch"
+      in
+      Switch (scrutinee, cases [])
+  | TIdent "do" ->
+      ignore (next st);
+      let body = parse_block st in
+      if not (accept_kw st "while") then fail "expected while after do";
+      expect st "(";
+      let cond = parse_expr st in
+      expect st ")";
+      ignore (accept st ";");
+      Do_while (body, cond)
+  | TIdent "return" ->
+      ignore (next st);
+      let v =
+        match peek st with
+        | TPunct ";" | TPunct "}" | TEof -> None
+        | _ -> Some (parse_expr st)
+      in
+      ignore (accept st ";");
+      Return v
+  | TIdent "break" ->
+      ignore (next st);
+      ignore (accept st ";");
+      Break
+  | TIdent "continue" ->
+      ignore (next st);
+      ignore (accept st ";");
+      Continue
+  | TIdent "function" when (match peek2 st with TIdent _ -> true | _ -> false) ->
+      ignore (next st);
+      let name = expect_ident st in
+      let params = parse_params st in
+      let body = parse_block st in
+      Func_decl (name, params, body)
+  | _ ->
+      let e = parse_expr st in
+      ignore (accept st ";");
+      Expr_stmt e
+
+let parse_program src =
+  let st = { toks = Js_lexer.tokenize src } in
+  let rec stmts acc =
+    if peek st = TEof then List.rev acc else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+let parse_expression src =
+  let st = { toks = Js_lexer.tokenize src } in
+  let e = parse_expr st in
+  ignore (accept st ";");
+  if peek st <> TEof then fail "trailing tokens after expression";
+  e

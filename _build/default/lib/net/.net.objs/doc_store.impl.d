@@ -1,0 +1,1 @@
+lib/net/doc_store.ml: Dom Hashtbl Http_sim List String

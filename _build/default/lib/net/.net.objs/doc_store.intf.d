@@ -1,0 +1,1 @@
+lib/net/doc_store.mli: Dom Http_sim

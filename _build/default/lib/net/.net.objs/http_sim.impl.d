@@ -1,0 +1,1 @@
+lib/net/http_sim.ml: Hashtbl Option String Virtual_clock

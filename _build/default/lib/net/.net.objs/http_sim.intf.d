@@ -1,0 +1,1 @@
+lib/net/http_sim.mli: Virtual_clock

@@ -1,0 +1,1 @@
+lib/net/rest.ml: Dom Hashtbl Http_sim List Qname Xdm_atomic Xdm_item Xmlb Xquery

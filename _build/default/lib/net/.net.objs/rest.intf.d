@@ -1,0 +1,1 @@
+lib/net/rest.mli: Dom Http_sim Xquery

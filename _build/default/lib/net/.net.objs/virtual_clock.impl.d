@@ -1,0 +1,1 @@
+lib/net/virtual_clock.ml: Float List Xdm_datetime

@@ -1,0 +1,1 @@
+lib/net/virtual_clock.mli: Xdm_datetime

@@ -1,0 +1,1 @@
+lib/net/web_service.ml: Buffer Dom Http_sim List Option Printf Qname String Xdm_atomic Xdm_item Xml_escape Xmlb Xquery

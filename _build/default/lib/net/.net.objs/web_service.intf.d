@@ -1,0 +1,1 @@
+lib/net/web_service.mli: Http_sim Xquery

@@ -1,0 +1,28 @@
+type t = { docs : (string, Dom.node) Hashtbl.t }
+
+let create () = { docs = Hashtbl.create 16 }
+let put t ~name doc = Hashtbl.replace t.docs name doc
+let put_xml t ~name xml = put t ~name (Dom.of_string xml)
+let get t name = Hashtbl.find_opt t.docs name
+let list t = Hashtbl.fold (fun k _ acc -> k :: acc) t.docs []
+let size t = Hashtbl.length t.docs
+
+let uri_of ~host ~name = "http://" ^ host ^ "/docs/" ^ name
+
+let attach t http ~host =
+  Http_sim.register_host http ~host (fun req ->
+      let path = req.Http_sim.path in
+      let prefix = "/docs/" in
+      let n = String.length prefix in
+      if String.equal path "/docs" || String.equal path "/docs/" then
+        Http_sim.ok
+          ("<index>"
+          ^ String.concat ""
+              (List.map (fun d -> "<doc name=\"" ^ d ^ "\"/>") (list t))
+          ^ "</index>")
+      else if String.length path > n && String.sub path 0 n = prefix then
+        let name = String.sub path n (String.length path - n) in
+        match get t name with
+        | Some doc -> Http_sim.ok (Dom.serialize doc)
+        | None -> Http_sim.not_found path
+      else Http_sim.not_found path)

@@ -1,0 +1,24 @@
+(** An in-memory XML document store — the stand-in for the paper's
+    XML database (MarkLogic in §6.1). Documents are served over the
+    simulated HTTP layer as whole documents, which is exactly the
+    adjustment the paper describes making for cacheability ("serve
+    whole documents rather than individual queries"). *)
+
+type t
+
+val create : unit -> t
+
+(** Store a document under a name (parsed copy is kept). *)
+val put : t -> name:string -> Dom.node -> unit
+
+val put_xml : t -> name:string -> string -> unit
+val get : t -> string -> Dom.node option
+val list : t -> string list
+val size : t -> int
+
+(** Serve the store over HTTP: [GET /docs/<name>] returns the
+    serialized document; [GET /docs] returns an index. *)
+val attach : t -> Http_sim.t -> host:string -> unit
+
+(** The URI a document is served under. *)
+val uri_of : host:string -> name:string -> string

@@ -1,0 +1,107 @@
+type meth = Get | Post
+
+type request = { meth : meth; uri : string; path : string; body : string option }
+
+type response = { status : int; body : string; content_type : string }
+
+type latency_model = { base : float; per_kb : float }
+
+let default_latency = { base = 0.05; per_kb = 0.002 }
+
+type t = {
+  clock : Virtual_clock.t;
+  latency : latency_model;
+  handlers : (string, request -> response) Hashtbl.t;
+  counts : (string, int) Hashtbl.t;
+  bytes : (string, int) Hashtbl.t;
+}
+
+let create ?(latency = default_latency) clock =
+  {
+    clock;
+    latency;
+    handlers = Hashtbl.create 8;
+    counts = Hashtbl.create 8;
+    bytes = Hashtbl.create 8;
+  }
+
+let clock t = t.clock
+
+let register_host t ~host handler = Hashtbl.replace t.handlers host handler
+let find_host t ~host = Hashtbl.find_opt t.handlers host
+
+let ok ?(content_type = "application/xml") body = { status = 200; body; content_type }
+let not_found path = { status = 404; body = "not found: " ^ path; content_type = "text/plain" }
+
+let split_uri uri =
+  let strip prefix s =
+    let n = String.length prefix in
+    if String.length s >= n && String.sub s 0 n = prefix then
+      Some (String.sub s n (String.length s - n))
+    else None
+  in
+  match
+    match strip "http://" uri with
+    | Some rest -> Some rest
+    | None -> strip "https://" uri
+  with
+  | None -> None
+  | Some rest -> (
+      match String.index_opt rest '/' with
+      | None -> Some (rest, "/")
+      | Some i ->
+          Some (String.sub rest 0 i, String.sub rest i (String.length rest - i)))
+
+let register_doc t ~uri ?(content_type = "application/xml") body =
+  match split_uri uri with
+  | None -> invalid_arg ("register_doc: bad uri " ^ uri)
+  | Some (host, path) ->
+      let previous = Hashtbl.find_opt t.handlers host in
+      register_host t ~host (fun req ->
+          if String.equal req.path path then ok ~content_type body
+          else
+            match previous with
+            | Some h -> h req
+            | None -> not_found req.path)
+
+let bump table key delta =
+  Hashtbl.replace table key (delta + Option.value ~default:0 (Hashtbl.find_opt table key))
+
+let serve t ~meth ~body uri =
+  match split_uri uri with
+  | None -> { status = 400; body = "bad uri: " ^ uri; content_type = "text/plain" }
+  | Some (host, path) -> (
+      bump t.counts host 1;
+      match Hashtbl.find_opt t.handlers host with
+      | None -> { status = 502; body = "unknown host: " ^ host; content_type = "text/plain" }
+      | Some handler ->
+          let resp = handler { meth; uri; path; body } in
+          bump t.bytes host (String.length resp.body);
+          resp)
+
+let round_trip_latency t resp =
+  t.latency.base
+  +. (t.latency.per_kb *. (float_of_int (String.length resp.body) /. 1024.))
+
+let fetch t ?(meth = Get) ?body uri =
+  let resp = serve t ~meth ~body uri in
+  Virtual_clock.sleep t.clock (round_trip_latency t resp);
+  resp
+
+let fetch_async t ?(meth = Get) ?body uri callback =
+  (* the request is served when the task fires, after the latency *)
+  let delay_probe = t.latency.base in
+  Virtual_clock.schedule t.clock ~delay:delay_probe (fun () ->
+      let resp = serve t ~meth ~body uri in
+      let extra = round_trip_latency t resp -. delay_probe in
+      if extra > 0. then
+        Virtual_clock.schedule t.clock ~delay:extra (fun () -> callback resp)
+      else callback resp)
+
+let request_count t ~host = Option.value ~default:0 (Hashtbl.find_opt t.counts host)
+let total_requests t = Hashtbl.fold (fun _ c acc -> acc + c) t.counts 0
+let bytes_served t ~host = Option.value ~default:0 (Hashtbl.find_opt t.bytes host)
+
+let reset_stats t =
+  Hashtbl.reset t.counts;
+  Hashtbl.reset t.bytes

@@ -1,0 +1,56 @@
+(** A simulated HTTP layer over the virtual clock.
+
+    Hosts register handlers under ["host[:port]"]; clients fetch by
+    URI. Latency is modelled as [base + per_kb * size] virtual seconds
+    each way, so the server-offload experiment (paper §6.1 / Fig. 2)
+    can count both requests and time. *)
+
+type meth = Get | Post
+
+type request = { meth : meth; uri : string; path : string; body : string option }
+
+type response = { status : int; body : string; content_type : string }
+
+type latency_model = {
+  base : float;  (** per-request virtual seconds *)
+  per_kb : float;  (** additional seconds per KiB of response body *)
+}
+
+val default_latency : latency_model
+
+type t
+
+val create : ?latency:latency_model -> Virtual_clock.t -> t
+val clock : t -> Virtual_clock.t
+
+(** Register a handler for a host (e.g. ["www.example.com"] or
+    ["localhost:2001"]). *)
+val register_host : t -> host:string -> (request -> response) -> unit
+
+(** The currently registered handler for a host, for chaining. *)
+val find_host : t -> host:string -> (request -> response) option
+
+(** Convenience: serve a fixed document body at exactly this URI. *)
+val register_doc : t -> uri:string -> ?content_type:string -> string -> unit
+
+val ok : ?content_type:string -> string -> response
+val not_found : string -> response
+
+(** Split a URI into (host, path): ["http://h:1/p?q"] → (["h:1"], ["/p?q"]). *)
+val split_uri : string -> (string * string) option
+
+(** Synchronous fetch: advances the virtual clock by the round-trip
+    latency (models a blocking XMLHttpRequest). *)
+val fetch : t -> ?meth:meth -> ?body:string -> string -> response
+
+(** Asynchronous fetch: schedules the callback after the round-trip
+    latency without blocking the caller. *)
+val fetch_async :
+  t -> ?meth:meth -> ?body:string -> string -> (response -> unit) -> unit
+
+(** {1 Statistics (per host)} *)
+
+val request_count : t -> host:string -> int
+val total_requests : t -> int
+val bytes_served : t -> host:string -> int
+val reset_stats : t -> unit

@@ -1,0 +1,91 @@
+open Xmlb
+
+let namespace = "http://www.example.com/rest"
+
+type client = {
+  http : Http_sim.t;
+  cache : (string, Dom.node) Hashtbl.t option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable online : unit -> bool;
+}
+
+let make_client ?(cache = false) http =
+  {
+    http;
+    cache = (if cache then Some (Hashtbl.create 16) else None);
+    hits = 0;
+    misses = 0;
+    online = (fun () -> true);
+  }
+
+let cache_hits c = c.hits
+let cache_misses c = c.misses
+
+let clear_cache c =
+  match c.cache with Some t -> Hashtbl.reset t | None -> ()
+
+let err fmt = Xquery.Xq_error.raise_error "FODC0002" fmt
+
+let set_online_guard c guard = c.online <- guard
+
+let require_online c uri =
+  if not (c.online ()) then err "offline: cannot fetch %s" uri
+
+let fetch_doc c uri =
+  require_online c uri;
+  let resp = Http_sim.fetch c.http uri in
+  if resp.Http_sim.status <> 200 then
+    err "REST GET %s failed with status %d" uri resp.Http_sim.status
+  else
+    try Dom.of_string resp.Http_sim.body
+    with _ -> err "REST GET %s: response is not well-formed XML" uri
+
+let get_doc c uri =
+  match c.cache with
+  | None ->
+      c.misses <- c.misses + 1;
+      fetch_doc c uri
+  | Some table -> (
+      match Hashtbl.find_opt table uri with
+      | Some doc ->
+          c.hits <- c.hits + 1;
+          doc
+      | None ->
+          c.misses <- c.misses + 1;
+          let doc = fetch_doc c uri in
+          Hashtbl.add table uri doc;
+          doc)
+
+let seq_string seq = Xdm_item.sequence_string seq
+
+let response_to_sequence resp =
+  if resp.Http_sim.status <> 200 then
+    err "REST call failed with status %d" resp.Http_sim.status
+  else
+    match Dom.of_string resp.Http_sim.body with
+    | doc -> [ Xdm_item.Node doc ]
+    | exception _ -> [ Xdm_item.Atomic (Xdm_atomic.String resp.Http_sim.body) ]
+
+let install c sctx =
+  Xquery.Static_context.declare_namespace sctx ~prefix:"rest" ~uri:namespace;
+  let register local arity f =
+    Xquery.Static_context.register_external sctx
+      (Qname.make ~uri:namespace local)
+      ~arity f
+  in
+  register "get" 1 (fun _cctx args ->
+      let uri = seq_string (List.nth args 0) in
+      [ Xdm_item.Node (get_doc c uri) ]);
+  register "get-text" 1 (fun _cctx args ->
+      let uri = seq_string (List.nth args 0) in
+      require_online c uri;
+      let resp = Http_sim.fetch c.http uri in
+      if resp.Http_sim.status <> 200 then
+        err "REST GET %s failed with status %d" uri resp.Http_sim.status
+      else [ Xdm_item.Atomic (Xdm_atomic.String resp.Http_sim.body) ]);
+  register "post" 2 (fun _cctx args ->
+      let uri = seq_string (List.nth args 0) in
+      require_online c uri;
+      let body = seq_string (List.nth args 1) in
+      response_to_sequence (Http_sim.fetch c.http ~meth:Http_sim.Post ~body uri))

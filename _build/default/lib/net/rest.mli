@@ -1,0 +1,37 @@
+(** REST support for XQuery (paper §3.4/§5.1: "Zorba chose to first
+    support REST, synchronous REST calls are possible").
+
+    Installs external functions in the [rest] namespace into a static
+    context:
+
+    - [rest:get($uri)] — fetch; XML responses parse to a document node;
+    - [rest:get-text($uri)] — fetch as a string;
+    - [rest:post($uri, $body)] — POST, result handled like [rest:get].
+
+    An optional client-side document cache implements the paper's
+    §6.1 optimisation ("whole XML documents can be cached in the
+    browser so that most user requests can be processed without any
+    interaction with the Elsevier server"). *)
+
+val namespace : string
+
+type client
+
+val make_client : ?cache:bool -> Http_sim.t -> client
+
+(** Install a connectivity guard: when it returns false, every
+    network operation raises FODC0002 (cache hits still succeed) —
+    models working offline against cached/local data (paper §2.4). *)
+val set_online_guard : client -> (unit -> bool) -> unit
+
+(** Requests answered from the cache (no HTTP traffic). *)
+val cache_hits : client -> int
+
+val cache_misses : client -> int
+val clear_cache : client -> unit
+
+(** Fetch a document through the client (cache-aware), parsed. *)
+val get_doc : client -> string -> Dom.node
+
+(** Bind the [rest] prefix and register the functions. *)
+val install : client -> Xquery.Static_context.t -> unit

@@ -1,0 +1,55 @@
+type task = { fire_at : float; seq : int; run : unit -> unit }
+
+type t = {
+  mutable time : float;
+  mutable queue : task list;  (** sorted by (fire_at, seq) *)
+  mutable next_seq : int;
+  epoch : float;  (** epoch seconds of virtual time 0 *)
+}
+
+(* virtual time 0 = 2008-06-09T12:00:00Z, the engine's fixed default *)
+let default_epoch =
+  Xdm_datetime.to_epoch_seconds
+    (Xdm_datetime.make ~year:2008 ~month:6 ~day:9 ~hour:12 ~tz_minutes:0 ())
+
+let create ?(start = 0.) () =
+  { time = start; queue = []; next_seq = 0; epoch = default_epoch }
+
+let now t = t.time
+let sleep t d = if d > 0. then t.time <- t.time +. d
+
+let schedule t ~delay run =
+  let task = { fire_at = t.time +. Float.max 0. delay; seq = t.next_seq; run } in
+  t.next_seq <- t.next_seq + 1;
+  let rec insert = function
+    | [] -> [ task ]
+    | x :: rest ->
+        if
+          x.fire_at < task.fire_at
+          || (x.fire_at = task.fire_at && x.seq < task.seq)
+        then x :: insert rest
+        else task :: x :: rest
+  in
+  t.queue <- insert t.queue
+
+let pending t = List.length t.queue
+
+let run_next t =
+  match t.queue with
+  | [] -> false
+  | task :: rest ->
+      t.queue <- rest;
+      t.time <- Float.max t.time task.fire_at;
+      task.run ();
+      true
+
+let run_until_idle ?(max_tasks = 100_000) t =
+  let rec go n =
+    if n >= max_tasks then
+      failwith "Virtual_clock.run_until_idle: task budget exhausted"
+    else if run_next t then go (n + 1)
+  in
+  go 0
+
+let to_datetime t =
+  Xdm_datetime.of_epoch_seconds ~tz_minutes:0 (t.epoch +. t.time)

@@ -1,0 +1,34 @@
+(** A deterministic virtual clock with a task queue.
+
+    All latency in the simulated network and browser event loop is
+    virtual: scheduling a task at [now + delay] and running the queue
+    advances time without wall-clock sleeping, so tests and the
+    offload/async experiments (F2, T4) are exactly reproducible. *)
+
+type t
+
+val create : ?start:float -> unit -> t
+
+(** Current virtual time in seconds. *)
+val now : t -> float
+
+(** Advance time directly (models synchronous blocking work). *)
+val sleep : t -> float -> unit
+
+(** Schedule a task [delay] seconds from now. Tasks with equal fire
+    times run in scheduling order. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+val pending : t -> int
+
+(** Run the earliest task (advancing time to its fire time). Returns
+    false if the queue is empty. *)
+val run_next : t -> bool
+
+(** Run tasks until the queue is empty. [max_tasks] (default 100_000)
+    guards against runaway self-scheduling loops. *)
+val run_until_idle : ?max_tasks:int -> t -> unit
+
+(** Epoch offset: virtual time 0 corresponds to this dateTime; used to
+    expose the clock as fn:current-dateTime(). *)
+val to_datetime : t -> Xdm_datetime.t

@@ -1,0 +1,38 @@
+(** XQuery modules published as Web services (paper §3.4):
+
+    {v
+    module namespace ex="www.example.ch" port:2001;
+    declare option fn:webservice "true";
+    declare function ex:mul($a,$b) {$a * $b};
+    v}
+
+    {!publish} compiles such a library module and registers an HTTP
+    handler at [localhost:<port>] that serves a service descriptor at
+    [/wsdl] and executes function calls POSTed to [/call].
+
+    {!module_resolver} is the client side: [import module namespace
+    ab="..." at "http://localhost:2001/wsdl"] resolves to external
+    function stubs that perform the remote call over the simulated
+    network (with latency) — exactly the paper's [ab:mul(2,5)] usage. *)
+
+type service
+
+val publish :
+  ?host:string -> Http_sim.t -> source:string -> service
+
+val service_uri : service -> string  (** the .../wsdl location *)
+
+val namespace_uri : service -> string
+val functions : service -> (string * int) list
+
+(** Number of remote calls executed by this service. *)
+val call_count : service -> int
+
+(** A module resolver for static contexts: resolves [at] locations by
+    fetching them; an XML [<service>] descriptor becomes external RPC
+    stubs, an [application/xquery] body becomes module source. *)
+val module_resolver :
+  Http_sim.t ->
+  uri:string ->
+  locations:string list ->
+  Xquery.Static_context.module_resolution

@@ -1,0 +1,69 @@
+(** The paper's application scenarios as reusable workloads, shared by
+    the runnable examples and the benchmark harness:
+
+    - §6.3 shopping cart, in both stacks: XQuery-only vs JSP+SQL+JS;
+    - the multiplication-table demo (the 77-vs-29 lines claim);
+    - §6.1 Elsevier Reference 2.0 article hierarchy + server page;
+    - §6.2 maps/weather mash-up services;
+    - §4.4 AJAX suggest page. *)
+
+(** Count the non-empty, non-comment-only source lines of a program
+    (the metric behind the paper's LoC comparison). *)
+val loc : string -> int
+
+(** {1 §6.3 shopping cart} *)
+
+(** XML product catalogue with [n] products. *)
+val products_xml : int -> string
+
+(** The XQuery-only server page (paper §6.3 listing, second version). *)
+val shop_xquery_page : string
+
+(** The JSP+SQL+JavaScript baseline (paper §6.3 listing, first
+    version): template for {!Appserver.Jsp_sim}. *)
+val shop_jsp_template : string
+
+(** Product database for the JSP baseline, [n] products. *)
+val shop_db : int -> Appserver.Sql_lite.t
+
+(** {1 Multiplication table demo} *)
+
+(** Pure-JavaScript page building an [n]×[n] multiplication table on
+    load (written in period style: verbose DOM API calls). *)
+val mult_table_js_page : int -> string
+
+(** The XQuery equivalent. *)
+val mult_table_xquery_page : int -> string
+
+(** {1 §6.1 Elsevier Reference 2.0} *)
+
+type elsevier = {
+  server : Appserver.App_server.t;
+  article_count : int;
+  browse_page_path : string;  (** the server-side XQuery page *)
+  client_page_path : string;  (** the migrated client page *)
+}
+
+(** Build a synthetic journals/volumes/issues/articles hierarchy in the
+    server's document store, register the Reference 2.0 browse page,
+    and produce its migrated client version. *)
+val make_elsevier :
+  ?journals:int ->
+  ?volumes:int ->
+  ?issues:int ->
+  ?articles:int ->
+  Http_sim.t ->
+  elsevier
+
+(** {1 §6.2 maps/weather mash-up} *)
+
+(** Register the simulated map, weather and webcam services; returns
+    the mash-up page HTML (JavaScript map + XQuery weather/webcams,
+    both listening to the search click). *)
+val setup_mashup : Http_sim.t -> string
+
+(** {1 §4.4 AJAX suggest} *)
+
+(** Register the hint service; returns the suggest page (the paper's
+    [behind]-based AJAX example). *)
+val setup_suggest : Http_sim.t -> string

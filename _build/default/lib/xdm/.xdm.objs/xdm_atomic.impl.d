@@ -1,0 +1,1 @@
+lib/xdm/xdm_atomic.ml: Bool Float Format Int Printf Qname String Xdm_datetime Xdm_duration Xmlb

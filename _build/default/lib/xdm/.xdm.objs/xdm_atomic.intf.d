@@ -1,0 +1,1 @@
+lib/xdm/xdm_atomic.mli: Format Qname Xdm_datetime Xdm_duration Xmlb

@@ -1,0 +1,1 @@
+lib/xdm/xdm_datetime.ml: Float Format Printf String Xdm_duration

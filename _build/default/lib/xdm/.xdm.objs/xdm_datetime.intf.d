@@ -1,0 +1,1 @@
+lib/xdm/xdm_datetime.mli: Format Xdm_duration

@@ -1,0 +1,1 @@
+lib/xdm/xdm_duration.ml: Buffer Float Format Int Printf String

@@ -1,0 +1,1 @@
+lib/xdm/xdm_duration.mli: Format

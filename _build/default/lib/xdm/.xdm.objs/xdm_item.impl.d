@@ -1,0 +1,1 @@
+lib/xdm/xdm_item.ml: Dom Float Format List Option Printf String Xdm_atomic

@@ -1,0 +1,1 @@
+lib/xdm/xdm_item.mli: Dom Format Xdm_atomic

@@ -1,0 +1,431 @@
+open Xmlb
+
+type atomic_type =
+  | T_any_atomic
+  | T_untyped
+  | T_string
+  | T_boolean
+  | T_integer
+  | T_decimal
+  | T_double
+  | T_any_uri
+  | T_qname
+  | T_date
+  | T_time
+  | T_date_time
+  | T_duration
+  | T_year_month_duration
+  | T_day_time_duration
+
+type t =
+  | Untyped of string
+  | String of string
+  | Boolean of bool
+  | Integer of int
+  | Decimal of float
+  | Double of float
+  | Any_uri of string
+  | Qname_v of Qname.t
+  | Date of Xdm_datetime.t
+  | Time of Xdm_datetime.t
+  | Date_time of Xdm_datetime.t
+  | Duration of Xdm_duration.t
+  | Year_month_duration of Xdm_duration.t
+  | Day_time_duration of Xdm_duration.t
+
+exception Type_error of string
+exception Cast_error of string
+
+let type_error fmt = Printf.ksprintf (fun m -> raise (Type_error m)) fmt
+let cast_error fmt = Printf.ksprintf (fun m -> raise (Cast_error m)) fmt
+
+let type_of = function
+  | Untyped _ -> T_untyped
+  | String _ -> T_string
+  | Boolean _ -> T_boolean
+  | Integer _ -> T_integer
+  | Decimal _ -> T_decimal
+  | Double _ -> T_double
+  | Any_uri _ -> T_any_uri
+  | Qname_v _ -> T_qname
+  | Date _ -> T_date
+  | Time _ -> T_time
+  | Date_time _ -> T_date_time
+  | Duration _ -> T_duration
+  | Year_month_duration _ -> T_year_month_duration
+  | Day_time_duration _ -> T_day_time_duration
+
+let type_name = function
+  | T_any_atomic -> "anyAtomicType"
+  | T_untyped -> "untypedAtomic"
+  | T_string -> "string"
+  | T_boolean -> "boolean"
+  | T_integer -> "integer"
+  | T_decimal -> "decimal"
+  | T_double -> "double"
+  | T_any_uri -> "anyURI"
+  | T_qname -> "QName"
+  | T_date -> "date"
+  | T_time -> "time"
+  | T_date_time -> "dateTime"
+  | T_duration -> "duration"
+  | T_year_month_duration -> "yearMonthDuration"
+  | T_day_time_duration -> "dayTimeDuration"
+
+let type_of_name = function
+  | "anyAtomicType" -> Some T_any_atomic
+  | "untypedAtomic" -> Some T_untyped
+  | "string" | "normalizedString" | "token" | "NCName" | "ID" | "IDREF" ->
+      Some T_string
+  | "boolean" -> Some T_boolean
+  | "integer" | "int" | "long" | "short" | "byte" | "nonNegativeInteger"
+  | "positiveInteger" | "negativeInteger" | "nonPositiveInteger"
+  | "unsignedInt" | "unsignedLong" | "unsignedShort" | "unsignedByte" ->
+      Some T_integer
+  | "decimal" -> Some T_decimal
+  | "double" | "float" -> Some T_double
+  | "anyURI" -> Some T_any_uri
+  | "QName" -> Some T_qname
+  | "date" -> Some T_date
+  | "time" -> Some T_time
+  | "dateTime" -> Some T_date_time
+  | "duration" -> Some T_duration
+  | "yearMonthDuration" -> Some T_year_month_duration
+  | "dayTimeDuration" -> Some T_day_time_duration
+  | _ -> None
+
+let derives_from a b =
+  a = b || b = T_any_atomic
+  || (a = T_integer && b = T_decimal)
+  || ((a = T_year_month_duration || a = T_day_time_duration) && b = T_duration)
+
+(* ---------------- lexical forms ---------------- *)
+
+let decimal_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else begin
+    let s = Printf.sprintf "%.12f" f in
+    let rec strip i = if i > 0 && s.[i] = '0' then strip (i - 1) else i in
+    let last = strip (String.length s - 1) in
+    let last = if s.[last] = '.' then last - 1 else last in
+    String.sub s 0 (last + 1)
+  end
+
+let double_to_string f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "INF"
+  else if f = Float.neg_infinity then "-INF"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    s
+
+let to_string = function
+  | Untyped s | String s | Any_uri s -> s
+  | Boolean b -> if b then "true" else "false"
+  | Integer i -> string_of_int i
+  | Decimal f -> decimal_to_string f
+  | Double f -> double_to_string f
+  | Qname_v q -> Qname.to_string q
+  | Date d -> Xdm_datetime.date_to_string d
+  | Time t -> Xdm_datetime.time_to_string t
+  | Date_time dt -> Xdm_datetime.date_time_to_string dt
+  | Duration d | Year_month_duration d | Day_time_duration d ->
+      Xdm_duration.to_string d
+
+(* ---------------- casting ---------------- *)
+
+let trim = String.trim
+
+let parse_boolean s =
+  match trim s with
+  | "true" | "1" -> true
+  | "false" | "0" -> false
+  | s -> cast_error "cannot cast %S to xs:boolean" s
+
+let parse_integer s =
+  let s = trim s in
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> cast_error "cannot cast %S to xs:integer" s
+
+let parse_float_xml what s =
+  match trim s with
+  | "INF" -> Float.infinity
+  | "-INF" -> Float.neg_infinity
+  | "NaN" -> Float.nan
+  | s -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> cast_error "cannot cast %S to xs:%s" s what)
+
+let float_to_integer f =
+  if Float.is_nan f || Float.abs f = Float.infinity then
+    cast_error "cannot cast %s to xs:integer" (double_to_string f)
+  else int_of_float (Float.of_int (int_of_float f))
+
+let numeric_value = function
+  | Integer i -> float_of_int i
+  | Decimal f | Double f -> f
+  | v -> type_error "expected a numeric value, got xs:%s" (type_name (type_of v))
+
+let cast ~target v =
+  let s () = to_string v in
+  let from_string str =
+    match target with
+    | T_any_atomic -> Untyped str
+    | T_untyped -> Untyped str
+    | T_string -> String str
+    | T_boolean -> Boolean (parse_boolean str)
+    | T_integer -> Integer (parse_integer str)
+    | T_decimal -> (
+        match float_of_string_opt (trim str) with
+        | Some f -> Decimal f
+        | None -> cast_error "cannot cast %S to xs:decimal" str)
+    | T_double -> Double (parse_float_xml "double" str)
+    | T_any_uri -> Any_uri (trim str)
+    | T_qname -> Qname_v (Qname.of_string (trim str))
+    | T_date -> (
+        try Date (Xdm_datetime.date_of_string (trim str))
+        with Failure m -> cast_error "%s" m)
+    | T_time -> (
+        try Time (Xdm_datetime.time_of_string (trim str))
+        with Failure m -> cast_error "%s" m)
+    | T_date_time -> (
+        try Date_time (Xdm_datetime.date_time_of_string (trim str))
+        with Failure m -> cast_error "%s" m)
+    | T_duration -> (
+        try Duration (Xdm_duration.of_string (trim str))
+        with Failure m -> cast_error "%s" m)
+    | T_year_month_duration -> (
+        try
+          let d = Xdm_duration.of_string (trim str) in
+          Year_month_duration { d with Xdm_duration.seconds = 0. }
+        with Failure m -> cast_error "%s" m)
+    | T_day_time_duration -> (
+        try
+          let d = Xdm_duration.of_string (trim str) in
+          Day_time_duration { d with Xdm_duration.months = 0 }
+        with Failure m -> cast_error "%s" m)
+  in
+  match (v, target) with
+  | _, T_any_atomic -> v
+  | Untyped str, _ | String str, _ -> from_string str
+  | _, T_string -> String (s ())
+  | _, T_untyped -> Untyped (s ())
+  | Boolean b, T_integer -> Integer (if b then 1 else 0)
+  | Boolean b, T_decimal -> Decimal (if b then 1. else 0.)
+  | Boolean b, T_double -> Double (if b then 1. else 0.)
+  | Boolean _, T_boolean -> v
+  | Integer _, T_integer -> v
+  | Integer i, T_decimal -> Decimal (float_of_int i)
+  | Integer i, T_double -> Double (float_of_int i)
+  | Integer i, T_boolean -> Boolean (i <> 0)
+  | Decimal f, T_integer -> Integer (float_to_integer (Float.trunc f))
+  | Decimal _, T_decimal -> v
+  | Decimal f, T_double -> Double f
+  | Decimal f, T_boolean -> Boolean (f <> 0.)
+  | Double f, T_integer -> Integer (float_to_integer (Float.trunc f))
+  | Double f, T_decimal ->
+      if Float.is_nan f || Float.abs f = Float.infinity then
+        cast_error "cannot cast %s to xs:decimal" (double_to_string f)
+      else Decimal f
+  | Double _, T_double -> v
+  | Double f, T_boolean -> Boolean (not (Float.is_nan f || f = 0.))
+  | Any_uri _, T_any_uri -> v
+  | Qname_v _, T_qname -> v
+  | Date _, T_date -> v
+  | Date d, T_date_time -> Date_time { d with Xdm_datetime.hour = 0; minute = 0; second = 0. }
+  | Time _, T_time -> v
+  | Date_time _, T_date_time -> v
+  | Date_time dt, T_date ->
+      Date { dt with Xdm_datetime.hour = 0; minute = 0; second = 0. }
+  | Date_time dt, T_time -> Time { dt with Xdm_datetime.year = 1970; month = 1; day = 1 }
+  | (Duration d | Year_month_duration d | Day_time_duration d), T_duration ->
+      Duration d
+  | (Duration d | Year_month_duration d | Day_time_duration d), T_year_month_duration
+    ->
+      Year_month_duration { d with Xdm_duration.seconds = 0. }
+  | (Duration d | Year_month_duration d | Day_time_duration d), T_day_time_duration
+    ->
+      Day_time_duration { d with Xdm_duration.months = 0 }
+  | _, _ ->
+      cast_error "cannot cast xs:%s to xs:%s" (type_name (type_of v)) (type_name target)
+
+let castable ~target v =
+  match cast ~target v with _ -> true | exception _ -> false
+
+let is_numeric v =
+  match v with Integer _ | Decimal _ | Double _ -> true | _ -> false
+
+let is_nan = function Double f | Decimal f -> Float.is_nan f | _ -> false
+
+let promote_pair a b =
+  let lift v =
+    match v with
+    | Untyped s -> Double (parse_float_xml "double" s)
+    | Integer _ | Decimal _ | Double _ -> v
+    | _ ->
+        type_error "expected a numeric operand, got xs:%s" (type_name (type_of v))
+  in
+  let a = lift a and b = lift b in
+  match (a, b) with
+  | Integer _, Integer _ | Decimal _, Decimal _ | Double _, Double _ -> (a, b)
+  | Integer i, Decimal _ -> (Decimal (float_of_int i), b)
+  | Decimal _, Integer j -> (a, Decimal (float_of_int j))
+  | (Integer _ | Decimal _), Double _ -> (Double (numeric_value a), b)
+  | Double _, (Integer _ | Decimal _) -> (a, Double (numeric_value b))
+  | _ -> assert false
+
+(* ---------------- comparison ---------------- *)
+
+let compare_value a b =
+  let str_side v =
+    match v with Untyped s -> String s | v -> v
+  in
+  let a = str_side a and b = str_side b in
+  match (a, b) with
+  | (Integer _ | Decimal _ | Double _), (Integer _ | Decimal _ | Double _) -> (
+      match promote_pair a b with
+      | Integer i, Integer j -> Int.compare i j
+      | Decimal x, Decimal y | Double x, Double y -> Float.compare x y
+      | _ -> assert false)
+  | (String x | Any_uri x), (String y | Any_uri y) -> String.compare x y
+  | Boolean x, Boolean y -> Bool.compare x y
+  | Qname_v x, Qname_v y ->
+      if Qname.equal x y then 0
+      else type_error "QNames support only eq/ne comparison"
+  | Date x, Date y | Time x, Time y | Date_time x, Date_time y ->
+      Xdm_datetime.compare x y
+  | ( (Duration x | Year_month_duration x | Day_time_duration x),
+      (Duration y | Year_month_duration y | Day_time_duration y) ) ->
+      Xdm_duration.compare x y
+  | _ ->
+      type_error "cannot compare xs:%s with xs:%s"
+        (type_name (type_of a))
+        (type_name (type_of b))
+
+let equal_value a b =
+  match (a, b) with
+  | Qname_v x, Qname_v y -> Qname.equal x y
+  | _ ->
+      if is_nan a || is_nan b then false
+      else compare_value a b = 0
+
+let same_key a b =
+  if is_nan a && is_nan b then true
+  else match compare_value a b with 0 -> true | _ -> false | exception _ -> false
+
+(* ---------------- arithmetic ---------------- *)
+
+let numeric_op int_op float_op tag a b =
+  match promote_pair a b with
+  | Integer i, Integer j -> Integer (int_op i j)
+  | Decimal x, Decimal y -> Decimal (float_op x y)
+  | Double x, Double y -> Double (float_op x y)
+  | _ -> assert false [@warning "-8"]
+  | exception Type_error _ ->
+      type_error "invalid operands for %s: xs:%s, xs:%s" tag
+        (type_name (type_of a))
+        (type_name (type_of b))
+
+let as_duration = function
+  | Duration d | Year_month_duration d | Day_time_duration d -> Some d
+  | _ -> None
+
+let duration_tagged template d =
+  match template with
+  | Year_month_duration _ -> Year_month_duration { d with Xdm_duration.seconds = 0. }
+  | Day_time_duration _ -> Day_time_duration { d with Xdm_duration.months = 0 }
+  | _ -> Duration d
+
+let add a b =
+  match (a, b, as_duration a, as_duration b) with
+  | (Date d | Date_time d), _, _, Some dur ->
+      let r = Xdm_datetime.add_duration d dur in
+      (match a with Date _ -> Date r | _ -> Date_time r)
+  | _, (Date d | Date_time d), Some dur, _ ->
+      let r = Xdm_datetime.add_duration d dur in
+      (match b with Date _ -> Date r | _ -> Date_time r)
+  | Time t, _, _, Some dur ->
+      Time
+        (Xdm_datetime.of_epoch_seconds ?tz_minutes:t.Xdm_datetime.tz_minutes
+           (Xdm_datetime.to_epoch_seconds t +. dur.Xdm_duration.seconds))
+  | _, _, Some da, Some db -> duration_tagged a (Xdm_duration.add da db)
+  | _ -> numeric_op ( + ) ( +. ) "+" a b
+
+let subtract a b =
+  match (a, b, as_duration a, as_duration b) with
+  | (Date d | Date_time d), _, _, Some dur ->
+      let r = Xdm_datetime.add_duration d (Xdm_duration.negate dur) in
+      (match a with Date _ -> Date r | _ -> Date_time r)
+  | Date da, Date db, _, _ | Date_time da, Date_time db, _, _ ->
+      Day_time_duration (Xdm_datetime.difference da db)
+  | Time ta, Time tb, _, _ ->
+      Day_time_duration (Xdm_datetime.difference ta tb)
+  | _, _, Some da, Some db ->
+      duration_tagged a (Xdm_duration.add da (Xdm_duration.negate db))
+  | _ -> numeric_op ( - ) ( -. ) "-" a b
+
+let multiply a b =
+  match (as_duration a, as_duration b) with
+  | Some d, None when is_numeric b -> duration_tagged a (Xdm_duration.scale d (numeric_value b))
+  | None, Some d when is_numeric a -> duration_tagged b (Xdm_duration.scale d (numeric_value a))
+  | _ -> numeric_op ( * ) ( *. ) "*" a b
+
+let divide a b =
+  match (as_duration a, as_duration b) with
+  | Some d, None when is_numeric b ->
+      let f = numeric_value b in
+      if f = 0. then raise Division_by_zero
+      else duration_tagged a (Xdm_duration.scale d (1. /. f))
+  | Some da, Some db ->
+      if Xdm_duration.is_year_month da && Xdm_duration.is_year_month db then
+        if db.Xdm_duration.months = 0 then raise Division_by_zero
+        else
+          Decimal
+            (float_of_int da.Xdm_duration.months /. float_of_int db.Xdm_duration.months)
+      else if db.Xdm_duration.seconds = 0. then raise Division_by_zero
+      else Decimal (da.Xdm_duration.seconds /. db.Xdm_duration.seconds)
+  | _ -> (
+      match promote_pair a b with
+      | Integer i, Integer j ->
+          if j = 0 then raise Division_by_zero
+          else Decimal (float_of_int i /. float_of_int j)
+      | Decimal x, Decimal y ->
+          if y = 0. then raise Division_by_zero else Decimal (x /. y)
+      | Double x, Double y -> Double (x /. y)
+      | _ -> assert false)
+
+let integer_divide a b =
+  match promote_pair a b with
+  | Integer i, Integer j ->
+      if j = 0 then raise Division_by_zero else Integer (i / j)
+  | Decimal x, Decimal y | Double x, Double y ->
+      if y = 0. then raise Division_by_zero
+      else if Float.is_nan x || Float.is_nan y || Float.abs x = Float.infinity then
+        type_error "idiv with NaN or INF operand"
+      else Integer (int_of_float (Float.trunc (x /. y)))
+  | _ -> assert false
+
+let modulo a b =
+  match promote_pair a b with
+  | Integer i, Integer j ->
+      if j = 0 then raise Division_by_zero else Integer (i mod j)
+  | Decimal x, Decimal y ->
+      if y = 0. then raise Division_by_zero else Decimal (Float.rem x y)
+  | Double x, Double y -> Double (Float.rem x y)
+  | _ -> assert false
+
+let negate = function
+  | Integer i -> Integer (-i)
+  | Decimal f -> Decimal (-.f)
+  | Double f -> Double (-.f)
+  | Untyped s -> Double (-.parse_float_xml "double" s)
+  | Duration d -> Duration (Xdm_duration.negate d)
+  | Year_month_duration d -> Year_month_duration (Xdm_duration.negate d)
+  | Day_time_duration d -> Day_time_duration (Xdm_duration.negate d)
+  | v -> type_error "cannot negate xs:%s" (type_name (type_of v))
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,56 @@
+(** XML Schema date/time values: [xs:date], [xs:time], [xs:dateTime].
+
+    A single record covers all three; the [xs:date]/[xs:time] views
+    zero/ignore the irrelevant components. Timezone is an optional
+    offset in minutes. *)
+
+type t = {
+  year : int;
+  month : int;  (** 1..12 *)
+  day : int;  (** 1..31 *)
+  hour : int;
+  minute : int;
+  second : float;
+  tz_minutes : int option;
+}
+
+val make :
+  ?hour:int ->
+  ?minute:int ->
+  ?second:float ->
+  ?tz_minutes:int ->
+  year:int ->
+  month:int ->
+  day:int ->
+  unit ->
+  t
+
+(** Parsers for the three lexical spaces.
+    @raise Failure on malformed literals. *)
+
+val date_of_string : string -> t
+val time_of_string : string -> t
+val date_time_of_string : string -> t
+
+val date_to_string : t -> string
+val time_to_string : t -> string
+val date_time_to_string : t -> string
+
+(** Seconds since 1970-01-01T00:00:00 (UTC if a timezone is present;
+    otherwise treated as UTC). Basis for comparison and arithmetic. *)
+val to_epoch_seconds : t -> float
+
+val of_epoch_seconds : ?tz_minutes:int -> float -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Add a duration: the year-month part moves the calendar month with
+    day clamping; the day-time part shifts the timeline. *)
+val add_duration : t -> Xdm_duration.t -> t
+
+(** [difference a b] is the dayTime duration [a - b]. *)
+val difference : t -> t -> Xdm_duration.t
+
+val is_leap_year : int -> bool
+val days_in_month : year:int -> month:int -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+type item = Node of Dom.node | Atomic of Xdm_atomic.t
+type sequence = item list
+
+let type_error fmt =
+  Printf.ksprintf (fun m -> raise (Xdm_atomic.Type_error m)) fmt
+
+let of_bool b = [ Atomic (Xdm_atomic.Boolean b) ]
+let of_int i = [ Atomic (Xdm_atomic.Integer i) ]
+let of_float f = [ Atomic (Xdm_atomic.Double f) ]
+let of_string s = [ Atomic (Xdm_atomic.String s) ]
+let of_untyped s = [ Atomic (Xdm_atomic.Untyped s) ]
+let of_nodes ns = List.map (fun n -> Node n) ns
+let empty = []
+let is_node = function Node _ -> true | Atomic _ -> false
+
+let item_string = function
+  | Node n -> Dom.string_value n
+  | Atomic a -> Xdm_atomic.to_string a
+
+let item_atomic = function
+  | Atomic a -> a
+  | Node n -> (
+      match Dom.kind n with
+      | Dom.Comment | Dom.Processing_instruction ->
+          Xdm_atomic.String (Dom.string_value n)
+      | Dom.Document | Dom.Element | Dom.Attribute | Dom.Text ->
+          Xdm_atomic.Untyped (Dom.string_value n))
+
+let atomize seq = List.map item_atomic seq
+
+let effective_boolean = function
+  | [] -> false
+  | Node _ :: _ -> true
+  | [ Atomic a ] -> (
+      match a with
+      | Xdm_atomic.Boolean b -> b
+      | Xdm_atomic.String s | Xdm_atomic.Untyped s | Xdm_atomic.Any_uri s ->
+          s <> ""
+      | Xdm_atomic.Integer i -> i <> 0
+      | Xdm_atomic.Decimal f | Xdm_atomic.Double f ->
+          not (f = 0. || Float.is_nan f)
+      | _ ->
+          type_error "FORG0006: no effective boolean value for xs:%s"
+            (Xdm_atomic.type_name (Xdm_atomic.type_of a)))
+  | _ :: _ ->
+      type_error "FORG0006: effective boolean value of a multi-item atomic sequence"
+
+let sequence_string seq = String.concat " " (List.map item_string seq)
+
+let singleton = function
+  | [ it ] -> it
+  | seq -> type_error "expected exactly one item, got %d" (List.length seq)
+
+let singleton_node seq =
+  match singleton seq with
+  | Node n -> n
+  | Atomic _ -> type_error "expected a node, got an atomic value"
+
+let singleton_atomic seq = item_atomic (singleton seq)
+let singleton_string seq = item_string (singleton seq)
+
+let opt_atomic = function
+  | [] -> None
+  | [ it ] -> Some (item_atomic it)
+  | seq -> type_error "expected at most one item, got %d" (List.length seq)
+
+let opt_string seq = Option.map Xdm_atomic.to_string (opt_atomic seq)
+
+let item_number it =
+  match item_atomic it with
+  | Xdm_atomic.Integer i -> float_of_int i
+  | Xdm_atomic.Decimal f | Xdm_atomic.Double f -> f
+  | Xdm_atomic.Boolean b -> if b then 1. else 0.
+  | a -> (
+      match float_of_string_opt (String.trim (Xdm_atomic.to_string a)) with
+      | Some f -> f
+      | None -> Float.nan)
+
+let all_nodes seq = List.for_all is_node seq
+
+let nodes_only context seq =
+  List.map
+    (function
+      | Node n -> n
+      | Atomic _ -> type_error "%s requires a sequence of nodes" context)
+    seq
+
+let document_order seq =
+  let nodes = nodes_only "document ordering" seq in
+  let sorted = List.stable_sort Dom.compare_order nodes in
+  let rec dedup = function
+    | a :: b :: rest when a == b -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  of_nodes (dedup sorted)
+
+let union a b = document_order (a @ b)
+
+let intersect a b =
+  let nb = nodes_only "intersect" b in
+  document_order
+    (List.filter
+       (function
+         | Node n -> List.exists (fun m -> m == n) nb
+         | Atomic _ -> type_error "intersect requires nodes")
+       a)
+
+let except a b =
+  let nb = nodes_only "except" b in
+  document_order
+    (List.filter
+       (function
+         | Node n -> not (List.exists (fun m -> m == n) nb)
+         | Atomic _ -> type_error "except requires nodes")
+       a)
+
+let pp_item ppf = function
+  | Node n -> Dom.pp ppf n
+  | Atomic a -> Xdm_atomic.pp ppf a
+
+let pp ppf seq =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    pp_item ppf seq
+
+let to_display_string seq = Format.asprintf "%a" pp seq

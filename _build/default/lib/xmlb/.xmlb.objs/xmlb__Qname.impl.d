@@ -1,0 +1,1 @@
+lib/xmlb/qname.ml: Format Hashtbl Map Option Printf String

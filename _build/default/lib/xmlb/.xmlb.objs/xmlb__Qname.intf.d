@@ -1,0 +1,1 @@
+lib/xmlb/qname.mli: Format

@@ -1,0 +1,1 @@
+lib/xmlb/xml_escape.ml: Buffer Char List Printf String

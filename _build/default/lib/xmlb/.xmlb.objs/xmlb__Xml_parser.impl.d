@@ -1,0 +1,1 @@
+lib/xmlb/xml_parser.ml: Buffer Char Format List Printf Qname String Xml_escape

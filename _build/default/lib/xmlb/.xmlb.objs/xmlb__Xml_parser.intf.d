@@ -1,0 +1,1 @@
+lib/xmlb/xml_parser.mli: Format Qname

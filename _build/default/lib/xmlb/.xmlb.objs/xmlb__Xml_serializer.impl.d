@@ -1,0 +1,1 @@
+lib/xmlb/xml_serializer.ml: Buffer List Map Option Qname String Xml_escape Xml_parser

@@ -1,0 +1,1 @@
+lib/xmlb/xml_serializer.mli: Xml_parser

@@ -1,0 +1,100 @@
+let escape_with specials s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match List.assoc_opt c specials with
+      | Some rep -> Buffer.add_string buf rep
+      | None -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let text = escape_with [ ('&', "&amp;"); ('<', "&lt;"); ('>', "&gt;") ]
+
+let attribute =
+  escape_with [ ('&', "&amp;"); ('<', "&lt;"); ('>', "&gt;"); ('"', "&quot;") ]
+
+let utf8_of_code_point cp =
+  let buf = Buffer.create 4 in
+  if cp < 0 then failwith "negative code point"
+  else if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp <= 0x10FFFF then begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else failwith "code point out of range";
+  Buffer.contents buf
+
+let code_points s =
+  let n = String.length s in
+  let rec cont i need acc =
+    if need = 0 then (acc, i)
+    else if i >= n then failwith "invalid UTF-8: truncated sequence"
+    else
+      let b = Char.code s.[i] in
+      if b land 0xC0 <> 0x80 then failwith "invalid UTF-8: bad continuation"
+      else cont (i + 1) (need - 1) ((acc lsl 6) lor (b land 0x3F))
+  in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let b = Char.code s.[i] in
+      if b < 0x80 then go (i + 1) (b :: acc)
+      else if b land 0xE0 = 0xC0 then
+        let cp, j = cont (i + 1) 1 (b land 0x1F) in
+        go j (cp :: acc)
+      else if b land 0xF0 = 0xE0 then
+        let cp, j = cont (i + 1) 2 (b land 0x0F) in
+        go j (cp :: acc)
+      else if b land 0xF8 = 0xF0 then
+        let cp, j = cont (i + 1) 3 (b land 0x07) in
+        go j (cp :: acc)
+      else failwith "invalid UTF-8: bad leading byte"
+  in
+  go 0 []
+
+let unescape s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then Buffer.contents buf
+    else if s.[i] <> '&' then begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+    else
+      match String.index_from_opt s i ';' with
+      | None -> failwith "malformed entity reference: missing ';'"
+      | Some j ->
+          let ent = String.sub s (i + 1) (j - i - 1) in
+          let rep =
+            match ent with
+            | "amp" -> "&"
+            | "lt" -> "<"
+            | "gt" -> ">"
+            | "quot" -> "\""
+            | "apos" -> "'"
+            | "nbsp" -> "\xC2\xA0"
+            | _ when String.length ent > 1 && ent.[0] = '#' ->
+                let cp =
+                  if ent.[1] = 'x' || ent.[1] = 'X' then
+                    int_of_string ("0x" ^ String.sub ent 2 (String.length ent - 2))
+                  else int_of_string (String.sub ent 1 (String.length ent - 1))
+                in
+                utf8_of_code_point cp
+            | _ -> failwith (Printf.sprintf "unknown entity reference &%s;" ent)
+          in
+          Buffer.add_string buf rep;
+          go (j + 1)
+  in
+  go 0

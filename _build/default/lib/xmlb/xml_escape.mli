@@ -1,0 +1,22 @@
+(** Escaping and unescaping of XML character data. *)
+
+(** Escape text content: ampersand and angle brackets. *)
+val text : string -> string
+
+(** Escape attribute values (double-quote delimited): ampersand, angle
+    brackets and the double quote. *)
+val attribute : string -> string
+
+(** Expand the predefined entities ([&amp;amp; &amp;lt; &amp;gt; &amp;quot;
+    &amp;apos;]) and numeric character references ([&amp;#NN; &amp;#xHH;],
+    encoded as UTF-8).
+    @raise Failure on a malformed or unknown entity reference. *)
+val unescape : string -> string
+
+(** UTF-8 encode a Unicode code point.
+    @raise Failure if the code point is out of range. *)
+val utf8_of_code_point : int -> string
+
+(** Decode a UTF-8 string into code points.
+    @raise Failure on invalid UTF-8. *)
+val code_points : string -> int list

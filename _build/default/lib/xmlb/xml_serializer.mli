@@ -1,0 +1,11 @@
+(** Serialization of {!Xml_parser.tree} values back to XML text. *)
+
+type options = {
+  indent : bool;  (** pretty-print with two-space indentation *)
+  xml_declaration : bool;  (** emit [<?xml version="1.0"?>] *)
+}
+
+val default_options : options
+
+val to_string : ?options:options -> Xml_parser.tree -> string
+val list_to_string : ?options:options -> Xml_parser.tree list -> string

@@ -1,0 +1,1 @@
+lib/xquery/ast.ml: List Option Qname Xdm_atomic Xmlb

@@ -1,0 +1,1 @@
+lib/xquery/ast_printer.ml: Ast Buffer List Option Printf Qname Seq_type String Xdm_atomic Xml_escape Xmlb

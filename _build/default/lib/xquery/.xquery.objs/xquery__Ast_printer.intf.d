@@ -1,0 +1,1 @@
+lib/xquery/ast_printer.mli: Ast

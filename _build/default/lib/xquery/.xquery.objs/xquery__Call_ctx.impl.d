@@ -1,0 +1,1 @@
+lib/xquery/call_ctx.ml: Dom Logs Xdm_datetime Xdm_item Xq_error

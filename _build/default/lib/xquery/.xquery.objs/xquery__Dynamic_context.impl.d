@@ -1,0 +1,1 @@
+lib/xquery/dynamic_context.ml: Call_ctx Dom Dom_event Hashtbl List Logs Map Pul Qname Static_context String Style_util Xdm_atomic Xdm_datetime Xdm_item Xmlb Xq_error

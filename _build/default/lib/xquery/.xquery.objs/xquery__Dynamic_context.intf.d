@@ -1,0 +1,1 @@
+lib/xquery/dynamic_context.mli: Dom Hashtbl Map Pul Qname Static_context Xdm_datetime Xdm_item Xmlb

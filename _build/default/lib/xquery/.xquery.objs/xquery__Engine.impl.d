@@ -1,0 +1,1 @@
+lib/xquery/engine.ml: Ast Dynamic_context Eval List Optimizer Parser Pul Qname Seq_type Static_context String Xmlb Xq_error

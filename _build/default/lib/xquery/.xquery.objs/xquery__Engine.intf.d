@@ -1,0 +1,1 @@
+lib/xquery/engine.mli: Ast Dynamic_context Qname Static_context Xdm_item Xmlb

@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Ast Buffer Call_ctx Dom Dynamic_context Fulltext Functions List Option Pul Qname Seq_type Static_context String Xdm_atomic Xdm_item Xmlb Xq_error

@@ -1,0 +1,1 @@
+lib/xquery/eval.mli: Ast Dynamic_context Qname Xdm_item Xmlb

@@ -1,0 +1,1 @@
+lib/xquery/fulltext.ml: List String

@@ -1,0 +1,1 @@
+lib/xquery/functions.ml: Buffer Call_ctx Char Dom Float Hashtbl List Option Printf Qname Str String Xdm_atomic Xdm_datetime Xdm_duration Xdm_item Xml_escape Xmlb Xq_error

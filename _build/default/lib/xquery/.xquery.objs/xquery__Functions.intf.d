@@ -1,0 +1,1 @@
+lib/xquery/functions.mli: Call_ctx Xdm_item Xmlb

@@ -1,0 +1,1 @@
+lib/xquery/optimizer.ml: Ast List Option Qname Xdm_atomic Xmlb

@@ -1,0 +1,1 @@
+lib/xquery/optimizer.mli: Ast

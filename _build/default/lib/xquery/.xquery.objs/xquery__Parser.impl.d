@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Ast Buffer Lexer List Option Printf Qname Static_context String Xdm_atomic Xml_escape Xmlb Xq_error

@@ -1,0 +1,1 @@
+lib/xquery/pul.ml: Dom Format Hashtbl List Qname Xmlb Xq_error

@@ -1,0 +1,1 @@
+lib/xquery/pul.mli: Dom Format Qname Xmlb

@@ -1,0 +1,1 @@
+lib/xquery/seq_type.ml: Ast Dom List Option Printf Qname String Xdm_atomic Xdm_item Xmlb Xq_error

@@ -1,0 +1,1 @@
+lib/xquery/seq_type.mli: Ast Dom Xdm_item

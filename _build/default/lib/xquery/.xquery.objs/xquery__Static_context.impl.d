@@ -1,0 +1,1 @@
+lib/xquery/static_context.ml: Ast Call_ctx Hashtbl List Option Qname String Xdm_item Xmlb Xq_error

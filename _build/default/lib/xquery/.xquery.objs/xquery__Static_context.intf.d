@@ -1,0 +1,1 @@
+lib/xquery/static_context.mli: Ast Call_ctx Qname Xdm_item Xmlb

@@ -1,0 +1,1 @@
+lib/xquery/style_util.ml: Dom List Option String Xmlb

@@ -1,0 +1,1 @@
+lib/xquery/xq_error.ml: Format Printf

@@ -1,0 +1,39 @@
+(** The focus and host services visible to built-in and external
+    functions. The evaluator builds one per function call; host
+    environments (browser, application server, web services) override
+    the hooks. *)
+
+type t = {
+  context_item : Xdm_item.item option;
+  position : int;
+  size : int;
+  doc : string -> Dom.node;
+      (** resolve a document URI; hosts may raise a security error
+          (the paper blocks [fn:doc] in the browser, §4.2.1) *)
+  doc_available : string -> bool;
+  put : Dom.node -> string -> unit;
+      (** [fn:put]; hosts may raise a security error (blocked in the
+          browser, §4.2.1) or persist to a store (server-side) *)
+  now : unit -> Xdm_datetime.t;
+  trace : string -> unit;
+}
+
+(** A deterministic default: documents unavailable, clock fixed to the
+    paper's publication week. *)
+let default =
+  {
+    context_item = None;
+    position = 0;
+    size = 0;
+    doc =
+      (fun uri ->
+        Xq_error.raise_error "FODC0002" "document %S is not available" uri);
+    doc_available = (fun _ -> false);
+    put =
+      (fun _ uri ->
+        Xq_error.raise_error "FOUP0002" "fn:put to %S is not supported" uri);
+    now =
+      (fun () ->
+        Xdm_datetime.make ~year:2008 ~month:6 ~day:9 ~hour:12 ~tz_minutes:0 ());
+    trace = (fun s -> Logs.info (fun m -> m "fn:trace: %s" s));
+  }

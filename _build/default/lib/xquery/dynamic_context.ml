@@ -1,0 +1,156 @@
+open Xmlb
+
+type listener = {
+  listener_name : Qname.t;
+  invoke : Xdm_item.sequence list -> unit;
+}
+
+type host = {
+  attach :
+    event_type:string -> targets:Xdm_item.sequence -> listener:listener -> unit;
+  attach_behind :
+    event_type:string ->
+    computation:(unit -> Xdm_item.sequence) ->
+    listener:listener ->
+    unit;
+  detach :
+    event_type:string -> targets:Xdm_item.sequence -> name:Qname.t -> unit;
+  trigger : event_type:string -> targets:Xdm_item.sequence -> unit;
+  set_style : Dom.node -> string -> string -> unit;
+  get_style : Dom.node -> string -> string option;
+  doc : string -> Dom.node;
+  doc_available : string -> bool;
+  put : Dom.node -> string -> unit;
+  now : unit -> Xdm_datetime.t;
+  alert : string -> unit;
+  listener_error : string -> unit;
+      (** sink for errors raised inside event listeners: like a real
+          browser, a failing handler must not abort event dispatch *)
+}
+
+let target_nodes targets =
+  List.filter_map
+    (function Xdm_item.Node n -> Some n | Xdm_item.Atomic _ -> None)
+    targets
+
+(* Build the two-argument event node the paper passes to listeners
+   (§4.3.2): $evt with type/detail children, $obj the location node. *)
+let event_to_xml (e : Dom_event.event) =
+  let el = Dom.create_element (Qname.make "event") in
+  let add name text =
+    let child = Dom.create_element (Qname.make name) in
+    Dom.append_child ~parent:child (Dom.create_text text);
+    Dom.append_child ~parent:el child
+  in
+  add "type" e.Dom_event.event_type;
+  List.iter (fun (k, v) -> add k v) e.Dom_event.detail;
+  (match e.Dom_event.payload with
+  | Some p -> Dom.append_child ~parent:el (Dom.clone p)
+  | None -> ());
+  el
+
+let default_host =
+  {
+    attach =
+      (fun ~event_type ~targets ~listener ->
+        List.iter
+          (fun node ->
+            ignore
+              (Dom_event.add_listener node ~event_type
+                 ~name:(Qname.to_clark listener.listener_name) (fun e ->
+                   let evt_node = Xdm_item.Node (event_to_xml e) in
+                   let obj = Xdm_item.Node e.Dom_event.target in
+                   listener.invoke [ [ evt_node ]; [ obj ] ])))
+          (target_nodes targets));
+    attach_behind =
+      (fun ~event_type ~computation ~listener ->
+        (* no event loop in the standalone host: evaluate synchronously
+           and deliver the completion signal (readyState 4) *)
+        ignore event_type;
+        let result = computation () in
+        listener.invoke
+          [ [ Xdm_item.Atomic (Xdm_atomic.Integer 4) ]; result ]);
+    detach =
+      (fun ~event_type ~targets ~name ->
+        List.iter
+          (fun node ->
+            ignore
+              (Dom_event.remove_named_listener node ~event_type
+                 ~name:(Qname.to_clark name)))
+          (target_nodes targets));
+    trigger =
+      (fun ~event_type ~targets ->
+        List.iter
+          (fun node -> ignore (Dom_event.fire ~event_type ~target:node ()))
+          (target_nodes targets));
+    set_style = Style_util.set_on_node;
+    get_style = Style_util.get_on_node;
+    doc =
+      (fun uri ->
+        Xq_error.raise_error "FODC0002" "document %S is not available" uri);
+    doc_available = (fun _ -> false);
+    put =
+      (fun _ uri ->
+        Xq_error.raise_error "FOUP0002" "fn:put to %S is not supported" uri);
+    now = Call_ctx.default.Call_ctx.now;
+    alert = (fun s -> print_endline s);
+    listener_error = (fun m -> Logs.err (fun f -> f "listener error: %s" m));
+  }
+
+type focus = { item : Xdm_item.item; position : int; size : int }
+
+module Smap = Map.Make (String)
+
+type t = {
+  static : Static_context.t;
+  globals : (string, Xdm_item.sequence ref) Hashtbl.t;
+  locals : Xdm_item.sequence ref Smap.t;
+  focus : focus option;
+  pul : Pul.t;
+  host : host;
+  depth : int;
+}
+
+let create ?(host = default_host) static =
+  {
+    static;
+    globals = Hashtbl.create 16;
+    locals = Smap.empty;
+    focus = None;
+    pul = Pul.create ();
+    host;
+    depth = 0;
+  }
+
+let key qn = Qname.to_clark qn
+
+let bind t qn v = { t with locals = Smap.add (key qn) (ref v) t.locals }
+let bind_ref t qn r = { t with locals = Smap.add (key qn) r t.locals }
+
+let lookup_ref t qn =
+  match Smap.find_opt (key qn) t.locals with
+  | Some r -> r
+  | None -> (
+      match Hashtbl.find_opt t.globals (key qn) with
+      | Some r -> r
+      | None ->
+          Xq_error.raise_error Xq_error.undefined_variable
+            "undefined variable $%s" (Qname.to_string qn))
+
+let lookup t qn = !(lookup_ref t qn)
+let bind_global t qn v = Hashtbl.replace t.globals (key qn) (ref v)
+
+let with_focus t item ~position ~size =
+  { t with focus = Some { item; position; size } }
+
+let focus_item t =
+  match t.focus with
+  | Some f -> f.item
+  | None ->
+      Xq_error.raise_error "XPDY0002" "the context item is undefined"
+
+(* The focus is preserved into function bodies: strict XQuery clears
+   it, but the paper's listener functions navigate the page with
+   absolute paths (//div[...], §4.4/§6.3), which XQIB supports by
+   keeping the document as the context item. *)
+let function_scope t = { t with locals = Smap.empty; depth = t.depth + 1 }

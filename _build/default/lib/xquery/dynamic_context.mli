@@ -1,0 +1,83 @@
+(** The XQuery dynamic context: variable bindings, focus, the pending
+    update list, and the host environment (browser, server, or the
+    standalone default).
+
+    The host hooks are how the paper's browser extensions reach the
+    simulated browser: [on event ... attach listener] lands in
+    {!host.attach}, the async [behind] binding in {!host.attach_behind}
+    (§4.4), [trigger event] in {!host.trigger}, and [set/get style] in
+    the style hooks (§4.5). *)
+
+open Xmlb
+
+(** A listener ready to be invoked by the host: the declared function's
+    name plus a closure that calls it (and applies its updates). *)
+type listener = {
+  listener_name : Qname.t;
+  invoke : Xdm_item.sequence list -> unit;
+}
+
+type host = {
+  attach :
+    event_type:string -> targets:Xdm_item.sequence -> listener:listener -> unit;
+  attach_behind :
+    event_type:string ->
+    computation:(unit -> Xdm_item.sequence) ->
+    listener:listener ->
+    unit;
+  detach :
+    event_type:string -> targets:Xdm_item.sequence -> name:Qname.t -> unit;
+  trigger : event_type:string -> targets:Xdm_item.sequence -> unit;
+  set_style : Dom.node -> string -> string -> unit;
+  get_style : Dom.node -> string -> string option;
+  doc : string -> Dom.node;
+  doc_available : string -> bool;
+  put : Dom.node -> string -> unit;
+  now : unit -> Xdm_datetime.t;
+  alert : string -> unit;  (** used by fn:trace and as a default sink *)
+  listener_error : string -> unit;
+      (** sink for errors raised inside event listeners: like a real
+          browser, a failing handler must not abort event dispatch *)
+}
+
+(** Standalone host: events dispatch synchronously through {!Dom_event},
+    styles edit the [style] attribute, documents are unavailable,
+    [behind] evaluates synchronously then signals readyState 4. *)
+val default_host : host
+
+type focus = { item : Xdm_item.item; position : int; size : int }
+
+module Smap : Map.S with type key = string
+
+type t = {
+  static : Static_context.t;
+  globals : (string, Xdm_item.sequence ref) Hashtbl.t;
+  locals : Xdm_item.sequence ref Smap.t;
+  focus : focus option;
+  pul : Pul.t;
+  host : host;
+  depth : int;
+}
+
+val create : ?host:host -> Static_context.t -> t
+
+(** Bind a fresh local variable (shadows). *)
+val bind : t -> Qname.t -> Xdm_item.sequence -> t
+
+(** Bind sharing the given ref cell (scripting [set $x]). *)
+val bind_ref : t -> Qname.t -> Xdm_item.sequence ref -> t
+
+(** Look up a variable (locals, then globals).
+    @raise Xq_error.Error (XPST0008) if unbound. *)
+val lookup : t -> Qname.t -> Xdm_item.sequence
+
+(** The ref cell of a variable, for assignment.
+    @raise Xq_error.Error if unbound. *)
+val lookup_ref : t -> Qname.t -> Xdm_item.sequence ref
+
+val bind_global : t -> Qname.t -> Xdm_item.sequence -> unit
+val with_focus : t -> Xdm_item.item -> position:int -> size:int -> t
+val focus_item : t -> Xdm_item.item
+
+(** Fresh local scope (for function bodies: only globals visible). *)
+val function_scope : t -> t

@@ -1,0 +1,93 @@
+open Xmlb
+
+type compiled = { prog : Ast.prog; static : Static_context.t }
+
+let default_static () = Static_context.create ()
+
+(* Tie the knot: module imports encountered by the parser load and
+   register library modules through the static context's resolver. *)
+let load_module sctx ~uri ~locations =
+  if Static_context.is_imported sctx uri then ()
+  else begin
+    Static_context.mark_imported sctx uri;
+    match Static_context.resolve_module sctx ~uri ~locations with
+    | Static_context.Module_source src ->
+        let prog = Parser.parse_program sctx src in
+        (match prog.Ast.library_module with
+        | Some m when not (String.equal m.Ast.mod_uri uri) ->
+            Xq_error.raise_error "XQST0059"
+              "module at %S declares namespace %S, expected %S"
+              (String.concat "," locations) m.Ast.mod_uri uri
+        | _ -> ())
+    | Static_context.Module_external fns ->
+        List.iter
+          (fun (qn, arity, impl) ->
+            Static_context.register_external sctx qn ~arity impl)
+          fns
+    | Static_context.Module_not_found ->
+        Xq_error.raise_error "XQST0059" "cannot locate module %S" uri
+  end
+
+let () = Parser.module_loader := load_module
+
+let compile ?(optimize = true) ?static source =
+  let static = match static with Some s -> s | None -> default_static () in
+  let prog = Parser.parse_program static source in
+  let prog = if optimize then Optimizer.optimize prog else prog in
+  (* re-register optimized function bodies *)
+  if optimize then
+    List.iter
+      (function
+        | Ast.P_function f -> Static_context.declare_function static f
+        | _ -> ())
+      prog.Ast.prolog;
+  { prog; static }
+
+let context_for ?host ?context_item ?(bindings = []) compiled =
+  let ctx = Dynamic_context.create ?host compiled.static in
+  let ctx =
+    match context_item with
+    | Some item -> Dynamic_context.with_focus ctx item ~position:1 ~size:1
+    | None -> ctx
+  in
+  List.iter (fun (qn, v) -> Dynamic_context.bind_global ctx qn v) bindings;
+  (* evaluate global variable declarations in order *)
+  List.iter
+    (fun (qn, st, init) ->
+      match init with
+      | Some e ->
+          let v = Eval.protect (fun () -> Eval.eval ctx e) in
+          let v =
+            match st with
+            | Some st ->
+                Seq_type.coerce ~what:("$" ^ Qname.to_string qn) st v
+            | None -> v
+          in
+          Dynamic_context.bind_global ctx qn v
+      | None ->
+          (* external variable: keep a pre-bound value if provided *)
+          if not (List.exists (fun (b, _) -> Qname.equal b qn) bindings) then
+            ())
+    (Static_context.global_variables compiled.static);
+  ctx
+
+let eval_body ctx compiled =
+  match compiled.prog.Ast.body with
+  | None -> []
+  | Some body -> (
+      try Eval.protect (fun () -> Eval.eval ctx body) with
+      | Eval.Exit_with v -> v
+      | Eval.Break_loop | Eval.Continue_loop ->
+          Xq_error.raise_error "XSST0010"
+            "break/continue outside of a while loop")
+
+let run ?host ?context_item ?bindings compiled =
+  let ctx = context_for ?host ?context_item ?bindings compiled in
+  let result = eval_body ctx compiled in
+  Pul.apply ctx.Dynamic_context.pul;
+  result
+
+let eval_string ?optimize ?static ?host ?context_item ?bindings source =
+  run ?host ?context_item ?bindings (compile ?optimize ?static source)
+
+let call ctx qn args = Eval.protect (fun () -> Eval.call_function ctx qn args)

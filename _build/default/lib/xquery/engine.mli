@@ -1,0 +1,56 @@
+(** The engine facade: compile and run XQuery programs.
+
+    This is the module hosts embed: the browser runtime (the paper's
+    plug-in, Fig. 1) compiles each [<script type="text/xquery">] body
+    once and then evaluates the main query and, later, each event
+    listener against the live DOM. *)
+
+open Xmlb
+
+type compiled = { prog : Ast.prog; static : Static_context.t }
+
+(** A fresh static context with the standard namespaces. *)
+val default_static : unit -> Static_context.t
+
+(** Compile a main or library module. Prolog declarations (functions,
+    variables, options, imports) are recorded in the static context.
+    [optimize] (default true) runs the rewrite pass. *)
+val compile : ?optimize:bool -> ?static:Static_context.t -> string -> compiled
+
+(** Build a dynamic context for a compiled program: binds the optional
+    context item and evaluates the prolog's global variables.
+    [bindings] pre-binds external variables. *)
+val context_for :
+  ?host:Dynamic_context.host ->
+  ?context_item:Xdm_item.item ->
+  ?bindings:(Qname.t * Xdm_item.sequence) list ->
+  compiled ->
+  Dynamic_context.t
+
+(** Evaluate the program body in the given context. Does NOT apply the
+    pending update list (callers that want snapshot semantics use
+    {!run}). Library modules return the empty sequence. *)
+val eval_body : Dynamic_context.t -> compiled -> Xdm_item.sequence
+
+(** Compile-and-run convenience: evaluates the body and applies the
+    pending update list (XQUF snapshot semantics). *)
+val run :
+  ?host:Dynamic_context.host ->
+  ?context_item:Xdm_item.item ->
+  ?bindings:(Qname.t * Xdm_item.sequence) list ->
+  compiled ->
+  Xdm_item.sequence
+
+(** One-shot: compile then {!run}. *)
+val eval_string :
+  ?optimize:bool ->
+  ?static:Static_context.t ->
+  ?host:Dynamic_context.host ->
+  ?context_item:Xdm_item.item ->
+  ?bindings:(Qname.t * Xdm_item.sequence) list ->
+  string ->
+  Xdm_item.sequence
+
+(** Call a function declared by the compiled program. *)
+val call :
+  Dynamic_context.t -> Qname.t -> Xdm_item.sequence list -> Xdm_item.sequence

@@ -1,0 +1,876 @@
+open Xmlb
+module A = Xdm_atomic
+module I = Xdm_item
+module D = Dynamic_context
+
+exception Exit_with of I.sequence
+
+(* scripting-extension loop control (paper Â§3.3 lists while/continue/break) *)
+exception Break_loop
+exception Continue_loop
+
+let err code fmt = Xq_error.raise_error code fmt
+let type_err fmt = err Xq_error.type_error_code fmt
+
+let max_depth = 4000
+
+(* wrap Xdm exceptions into Xq_error *)
+let guard f =
+  try f () with
+  | A.Type_error m -> type_err "%s" m
+  | A.Cast_error m -> err Xq_error.cast_error_code "%s" m
+  | Division_by_zero -> err Xq_error.div_by_zero "division by zero"
+
+let protect = guard
+
+(* ------------------------------------------------------------------ *)
+(* Axes                                                                *)
+
+let axis_nodes axis node =
+  match (axis : Ast.axis) with
+  | Ast.Child -> Dom.children node
+  | Ast.Descendant -> Dom.descendants node
+  | Ast.Attribute_axis -> Dom.attributes node
+  | Ast.Self -> [ node ]
+  | Ast.Descendant_or_self -> node :: Dom.descendants node
+  | Ast.Parent -> ( match Dom.parent node with None -> [] | Some p -> [ p ])
+  | Ast.Ancestor -> Dom.ancestors node (* nearest first *)
+  | Ast.Ancestor_or_self -> node :: Dom.ancestors node
+  | Ast.Following_sibling -> Dom.following_siblings node
+  | Ast.Preceding_sibling -> Dom.preceding_siblings node (* nearest first *)
+  | Ast.Following ->
+      let all = Dom.descendants (Dom.root node) in
+      List.filter
+        (fun m ->
+          Dom.compare_order node m < 0 && not (Dom.is_ancestor ~ancestor:node m))
+        all
+  | Ast.Preceding ->
+      let all = Dom.descendants (Dom.root node) in
+      List.rev
+        (List.filter
+           (fun m ->
+             Dom.compare_order m node < 0 && not (Dom.is_ancestor ~ancestor:m node))
+           all)
+
+let principal_is_attribute = function Ast.Attribute_axis -> true | _ -> false
+
+let node_test_matches ~axis (test : Ast.node_test) node =
+  let principal_kind_ok () =
+    match Dom.kind node with
+    | Dom.Attribute -> principal_is_attribute axis
+    | Dom.Element -> not (principal_is_attribute axis)
+    | _ -> false
+  in
+  match test with
+  | Ast.Kind_test kt -> Seq_type.kind_matches kt node
+  | Ast.Wildcard -> principal_kind_ok ()
+  | Ast.Ns_wildcard uri ->
+      principal_kind_ok ()
+      &&
+      (match Dom.name node with
+      | Some { Qname.uri = Some u; _ } -> String.equal u uri
+      | _ -> false)
+  | Ast.Local_wildcard local ->
+      principal_kind_ok ()
+      &&
+      (match Dom.name node with
+      | Some n -> String.equal n.Qname.local local
+      | None -> false)
+  | Ast.Name_test qn ->
+      principal_kind_ok ()
+      &&
+      (match Dom.name node with
+      | Some n -> Qname.equal n qn
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison helpers                                                  *)
+
+let value_compare_pair op a b =
+  (* value comparison: untyped operands are compared as strings *)
+  let norm = function A.Untyped s -> A.String s | a -> a in
+  let a = norm a and b = norm b in
+  guard (fun () ->
+      match (op : Ast.value_comp) with
+      | Ast.Eq -> A.equal_value a b
+      | Ast.Ne -> not (A.equal_value a b)
+      | Ast.Lt -> (not (A.is_nan a || A.is_nan b)) && A.compare_value a b < 0
+      | Ast.Le -> (not (A.is_nan a || A.is_nan b)) && A.compare_value a b <= 0
+      | Ast.Gt -> (not (A.is_nan a || A.is_nan b)) && A.compare_value a b > 0
+      | Ast.Ge -> (not (A.is_nan a || A.is_nan b)) && A.compare_value a b >= 0)
+
+let general_compare_pair op a b =
+  (* general comparison: untyped adapts to the other operand's type *)
+  let pair =
+    match (a, b) with
+    | A.Untyped x, A.Untyped y -> (A.String x, A.String y)
+    | A.Untyped x, b when A.is_numeric b ->
+        (A.cast ~target:A.T_double (A.Untyped x), b)
+    | a, A.Untyped y when A.is_numeric a ->
+        (a, A.cast ~target:A.T_double (A.Untyped y))
+    | A.Untyped x, b -> (A.cast ~target:(A.type_of b) (A.Untyped x), b)
+    | a, A.Untyped y -> (a, A.cast ~target:(A.type_of a) (A.Untyped y))
+    | a, b -> (a, b)
+  in
+  let a, b = pair in
+  value_compare_pair op a b
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+
+(* Normalize a content sequence into child nodes and attribute nodes,
+   per the XQuery constructor rules: adjacent atomics join with a
+   space into one text node; nodes are deep-copied; document nodes
+   splice their children; attribute nodes must come first. *)
+let normalize_content seq =
+  let attrs = ref [] in
+  let children = ref [] in
+  let pending_text = Buffer.create 16 in
+  let pending_started = ref false in
+  let seen_child = ref false in
+  let flush_text () =
+    if !pending_started then begin
+      children := Dom.create_text (Buffer.contents pending_text) :: !children;
+      Buffer.clear pending_text;
+      pending_started := false
+    end
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | I.Atomic a ->
+          if !pending_started then Buffer.add_char pending_text ' ';
+          Buffer.add_string pending_text (A.to_string a);
+          pending_started := true;
+          seen_child := true
+      | I.Node n -> (
+          match Dom.kind n with
+          | Dom.Attribute ->
+              flush_text ();
+              if !seen_child then
+                err "XQTY0024"
+                  "attribute nodes must precede other element content";
+              attrs := Dom.clone n :: !attrs
+          | Dom.Document ->
+              flush_text ();
+              seen_child := true;
+              List.iter
+                (fun c -> children := Dom.clone c :: !children)
+                (Dom.children n)
+          | _ ->
+              flush_text ();
+              seen_child := true;
+              children := Dom.clone n :: !children))
+    seq;
+  flush_text ();
+  (List.rev !attrs, List.rev !children)
+
+let qname_of_value ctx v =
+  ignore ctx;
+  match v with
+  | A.Qname_v q -> q
+  | A.String s | A.Untyped s -> Qname.of_string s
+  | a -> type_err "expected a QName, got xs:%s" (A.type_name (A.type_of a))
+
+(* ------------------------------------------------------------------ *)
+(* The evaluator                                                       *)
+
+let rec eval (ctx : D.t) (e : Ast.expr) : I.sequence =
+  match e with
+  | Ast.E_literal a -> [ I.Atomic a ]
+  | Ast.E_text_literal s -> [ I.Node (Dom.create_text s) ]
+  | Ast.E_var qn -> D.lookup ctx qn
+  | Ast.E_context_item -> [ D.focus_item ctx ]
+  | Ast.E_sequence es -> List.concat_map (eval ctx) es
+  | Ast.E_range (a, b) -> (
+      let intv e =
+        match I.opt_atomic (eval ctx e) with
+        | None -> None
+        | Some a -> (
+            match guard (fun () -> A.cast ~target:A.T_integer a) with
+            | A.Integer i -> Some i
+            | _ -> None)
+      in
+      match (intv a, intv b) with
+      | Some lo, Some hi when lo <= hi ->
+          List.init (hi - lo + 1) (fun i -> I.Atomic (A.Integer (lo + i)))
+      | _ -> [])
+  | Ast.E_if (c, t, f) ->
+      if I.effective_boolean (eval ctx c) then eval ctx t else eval ctx f
+  | Ast.E_or (a, b) ->
+      if I.effective_boolean (eval ctx a) then [ I.Atomic (A.Boolean true) ]
+      else [ I.Atomic (A.Boolean (I.effective_boolean (eval ctx b))) ]
+  | Ast.E_and (a, b) ->
+      if not (I.effective_boolean (eval ctx a)) then
+        [ I.Atomic (A.Boolean false) ]
+      else [ I.Atomic (A.Boolean (I.effective_boolean (eval ctx b))) ]
+  | Ast.E_value_comp (op, a, b) -> (
+      let va = I.atomize (eval ctx a) and vb = I.atomize (eval ctx b) in
+      match (va, vb) with
+      | [], _ | _, [] -> []
+      | [ x ], [ y ] -> [ I.Atomic (A.Boolean (value_compare_pair op x y)) ]
+      | _ -> type_err "value comparison requires singleton operands")
+  | Ast.E_general_comp (op, a, b) ->
+      let va = I.atomize (eval ctx a) and vb = I.atomize (eval ctx b) in
+      let result =
+        List.exists
+          (fun x -> List.exists (fun y -> general_compare_pair op x y) vb)
+          va
+      in
+      [ I.Atomic (A.Boolean result) ]
+  | Ast.E_node_comp (op, a, b) -> (
+      let na = eval ctx a and nb = eval ctx b in
+      match (na, nb) with
+      | [], _ | _, [] -> []
+      | [ I.Node x ], [ I.Node y ] ->
+          let r =
+            match op with
+            | Ast.Is -> Dom.equal x y
+            | Ast.Precedes -> Dom.compare_order x y < 0
+            | Ast.Follows -> Dom.compare_order x y > 0
+          in
+          [ I.Atomic (A.Boolean r) ]
+      | _ -> type_err "node comparison requires single nodes")
+  | Ast.E_ftcontains (e, sel) ->
+      let hay = eval ctx e in
+      let text =
+        String.concat " " (List.map I.item_string hay)
+      in
+      [ I.Atomic (A.Boolean (eval_ft ctx text sel)) ]
+  | Ast.E_arith (op, a, b) -> (
+      let va = I.atomize (eval ctx a) and vb = I.atomize (eval ctx b) in
+      match (va, vb) with
+      | [], _ | _, [] -> []
+      | [ x ], [ y ] ->
+          let f =
+            match op with
+            | Ast.Add -> A.add
+            | Ast.Sub -> A.subtract
+            | Ast.Mul -> A.multiply
+            | Ast.Div -> A.divide
+            | Ast.Idiv -> A.integer_divide
+            | Ast.Mod -> A.modulo
+          in
+          [ I.Atomic (guard (fun () -> f x y)) ]
+      | _ -> type_err "arithmetic requires singleton operands")
+  | Ast.E_unary_minus e -> (
+      match I.atomize (eval ctx e) with
+      | [] -> []
+      | [ x ] -> [ I.Atomic (guard (fun () -> A.negate x)) ]
+      | _ -> type_err "unary minus requires a singleton operand")
+  | Ast.E_union (a, b) -> guard (fun () -> I.union (eval ctx a) (eval ctx b))
+  | Ast.E_intersect (a, b) ->
+      guard (fun () -> I.intersect (eval ctx a) (eval ctx b))
+  | Ast.E_except (a, b) -> guard (fun () -> I.except (eval ctx a) (eval ctx b))
+  | Ast.E_instance_of (e, st) ->
+      [ I.Atomic (A.Boolean (Seq_type.matches st (eval ctx e))) ]
+  | Ast.E_treat_as (e, st) ->
+      let v = eval ctx e in
+      if Seq_type.matches st v then v
+      else
+        err "XPDY0050" "treat as %s failed on a sequence of %d item(s)"
+          (Seq_type.to_string st) (List.length v)
+  | Ast.E_castable_as (e, ty, optional) -> (
+      match I.atomize (eval ctx e) with
+      | [] -> [ I.Atomic (A.Boolean optional) ]
+      | [ x ] -> [ I.Atomic (A.Boolean (A.castable ~target:ty x)) ]
+      | _ -> [ I.Atomic (A.Boolean false) ])
+  | Ast.E_cast_as (e, ty, optional) -> (
+      match I.atomize (eval ctx e) with
+      | [] ->
+          if optional then []
+          else type_err "cast of an empty sequence to a non-optional type"
+      | [ x ] -> [ I.Atomic (guard (fun () -> A.cast ~target:ty x)) ]
+      | _ -> type_err "cast requires a singleton operand")
+  | Ast.E_root -> (
+      match D.focus_item ctx with
+      | I.Node n -> [ I.Node (Dom.root n) ]
+      | I.Atomic _ -> type_err "the context item for '/' is not a node")
+  | Ast.E_step (axis, test, preds) -> (
+      match D.focus_item ctx with
+      | I.Atomic _ -> type_err "axis step applied to an atomic context item"
+      | I.Node n ->
+          let nodes =
+            List.filter (node_test_matches ~axis test) (axis_nodes axis n)
+          in
+          let items = List.map (fun n -> I.Node n) nodes in
+          apply_predicates ctx items preds)
+  | Ast.E_path (e1, e2) ->
+      let lhs = eval ctx e1 in
+      let n = List.length lhs in
+      let results =
+        List.concat
+          (List.mapi
+             (fun i item ->
+               match item with
+               | I.Node _ ->
+                   eval (D.with_focus ctx item ~position:(i + 1) ~size:n) e2
+               | I.Atomic _ ->
+                   type_err "path step applied to an atomic value")
+             lhs)
+      in
+      if results = [] then []
+      else if I.all_nodes results then guard (fun () -> I.document_order results)
+      else if List.exists I.is_node results then
+        err "XPTY0018" "path result mixes nodes and atomic values"
+      else results
+  | Ast.E_filter (e, preds) ->
+      let items = eval ctx e in
+      apply_predicates ctx items preds
+  | Ast.E_flwor { clauses; where; order; return } ->
+      eval_flwor ctx ~clauses ~where ~order ~return
+  | Ast.E_quantified (quant, binds, body) ->
+      let rec go ctx = function
+        | [] -> I.effective_boolean (eval ctx body)
+        | (var, var_type, src) :: rest ->
+            let items = eval ctx src in
+            let items =
+              match var_type with
+              | Some st ->
+                  List.map
+                    (fun it -> List.hd (Seq_type.coerce ~what:"quantifier binding" st [ it ]))
+                    items
+              | None -> items
+            in
+            let test item = go (D.bind ctx var [ item ]) rest in
+            (match quant with
+            | Ast.Some_quant -> List.exists test items
+            | Ast.Every_quant -> List.for_all test items)
+      in
+      [ I.Atomic (A.Boolean (go ctx binds)) ]
+  | Ast.E_typeswitch (op, cases, (default_var, default_body)) -> (
+      let v = eval ctx op in
+      let rec try_cases = function
+        | [] ->
+            let ctx =
+              match default_var with
+              | Some var -> D.bind ctx var v
+              | None -> ctx
+            in
+            eval ctx default_body
+        | case :: rest ->
+            if Seq_type.matches case.Ast.case_type v then
+              let ctx =
+                match case.Ast.case_var with
+                | Some var -> D.bind ctx var v
+                | None -> ctx
+              in
+              eval ctx case.Ast.case_body
+            else try_cases rest
+      in
+      try_cases cases)
+  | Ast.E_call (qn, args) -> eval_call ctx qn args
+  | Ast.E_ordered e | Ast.E_unordered e -> eval ctx e
+  | Ast.E_enclosed e -> eval ctx e
+  (* ---- constructors ---- *)
+  | Ast.E_direct_element { name; attributes; children } ->
+      let el = Dom.create_element name in
+      List.iter
+        (fun (an, parts) ->
+          let value =
+            String.concat ""
+              (List.map
+                 (function
+                   | Ast.A_text t -> t
+                   | Ast.A_enclosed e -> I.sequence_string (eval ctx e))
+                 parts)
+          in
+          Dom.set_attribute el an value)
+        attributes;
+      let content = List.concat_map (eval ctx) children in
+      let attrs, kids = normalize_content content in
+      List.iter
+        (fun a ->
+          match Dom.name a with
+          | Some n -> Dom.set_attribute el n (Option.value ~default:"" (Dom.value a))
+          | None -> ())
+        attrs;
+      List.iter (fun c -> Dom.append_child ~parent:el c) kids;
+      [ I.Node el ]
+  | Ast.E_computed_element (name_e, content_e) ->
+      let name =
+        qname_of_value ctx (I.singleton_atomic (eval ctx name_e))
+      in
+      let el = Dom.create_element name in
+      let content = eval ctx content_e in
+      let attrs, kids = normalize_content content in
+      List.iter
+        (fun a ->
+          match Dom.name a with
+          | Some n -> Dom.set_attribute el n (Option.value ~default:"" (Dom.value a))
+          | None -> ())
+        attrs;
+      List.iter (fun c -> Dom.append_child ~parent:el c) kids;
+      [ I.Node el ]
+  | Ast.E_computed_attribute (name_e, content_e) ->
+      let name = qname_of_value ctx (I.singleton_atomic (eval ctx name_e)) in
+      let value = I.sequence_string (eval ctx content_e) in
+      [ I.Node (Dom.create_attribute name value) ]
+  | Ast.E_computed_text e ->
+      [ I.Node (Dom.create_text (I.sequence_string (eval ctx e))) ]
+  | Ast.E_computed_comment e ->
+      [ I.Node (Dom.create_comment (I.sequence_string (eval ctx e))) ]
+  | Ast.E_computed_pi (name_e, content_e) ->
+      let target = I.sequence_string (eval ctx name_e) in
+      [ I.Node (Dom.create_pi ~target (I.sequence_string (eval ctx content_e))) ]
+  | Ast.E_computed_document e ->
+      let doc = Dom.create_document () in
+      let _, kids = normalize_content (eval ctx e) in
+      List.iter (fun c -> Dom.append_child ~parent:doc c) kids;
+      [ I.Node doc ]
+  (* ---- updates ---- *)
+  | Ast.E_insert (pos, source_e, target_e) ->
+      eval_insert ctx pos source_e target_e
+  | Ast.E_delete e ->
+      let targets = eval ctx e in
+      List.iter
+        (function
+          | I.Node n -> Pul.add ctx.D.pul (Pul.Delete n)
+          | I.Atomic _ -> err Xq_error.update_target "delete target must be nodes")
+        targets;
+      []
+  | Ast.E_replace { value_of; target; source } ->
+      let tnode =
+        match eval ctx target with
+        | [ I.Node n ] -> n
+        | _ -> err Xq_error.update_target "replace target must be a single node"
+      in
+      if value_of then begin
+        let v = I.sequence_string (eval ctx source) in
+        Pul.add ctx.D.pul (Pul.Replace_value (tnode, v))
+      end
+      else begin
+        let source_items = eval ctx source in
+        let attrs, kids = normalize_content source_items in
+        let replacements =
+          match Dom.kind tnode with
+          | Dom.Attribute ->
+              if kids <> [] then
+                err Xq_error.update_target
+                  "an attribute can only be replaced with attributes"
+              else attrs
+          | _ ->
+              if attrs <> [] then
+                err Xq_error.update_target
+                  "cannot replace a non-attribute node with attributes"
+              else kids
+        in
+        Pul.add ctx.D.pul (Pul.Replace_node (tnode, replacements))
+      end;
+      []
+  | Ast.E_rename (target_e, name_e) ->
+      let tnode =
+        match eval ctx target_e with
+        | [ I.Node n ] -> n
+        | _ -> err Xq_error.update_target "rename target must be a single node"
+      in
+      let name = qname_of_value ctx (I.singleton_atomic (eval ctx name_e)) in
+      Pul.add ctx.D.pul (Pul.Rename (tnode, name));
+      []
+  | Ast.E_transform (binds, modify, return) ->
+      let copies =
+        List.map
+          (fun (var, src) ->
+            match eval ctx src with
+            | [ I.Node n ] -> (var, Dom.clone n)
+            | _ -> type_err "copy source must be a single node")
+          binds
+      in
+      let ctx' =
+        List.fold_left (fun c (var, n) -> D.bind c var [ I.Node n ]) ctx copies
+      in
+      let inner_pul = Pul.create () in
+      let ctx'' = { ctx' with D.pul = inner_pul } in
+      ignore (eval ctx'' modify);
+      (* XUDY0014: updates must stay within the copied trees *)
+      Pul.apply inner_pul;
+      eval ctx' return
+  (* ---- scripting ---- *)
+  | Ast.E_block [ Ast.S_expr e ] -> eval ctx e
+  | Ast.E_block stmts -> eval_block ctx ~script:true stmts
+  (* ---- browser extensions ---- *)
+  | Ast.E_event_attach { event; binding; target; listener } -> (
+      let event_type = I.sequence_string (eval ctx event) in
+      let l = make_listener ctx listener in
+      match binding with
+      | Ast.Bind_at ->
+          let targets = eval ctx target in
+          ctx.D.host.D.attach ~event_type ~targets ~listener:l;
+          []
+      | Ast.Bind_behind ->
+          let computation () = eval ctx target in
+          ctx.D.host.D.attach_behind ~event_type ~computation ~listener:l;
+          [])
+  | Ast.E_event_detach { event; target; listener } ->
+      let event_type = I.sequence_string (eval ctx event) in
+      let targets = eval ctx target in
+      ctx.D.host.D.detach ~event_type ~targets ~name:listener;
+      []
+  | Ast.E_event_trigger { event; target } ->
+      let event_type = I.sequence_string (eval ctx event) in
+      let targets = eval ctx target in
+      ctx.D.host.D.trigger ~event_type ~targets;
+      []
+  | Ast.E_set_style { property; target; value } ->
+      let prop = I.sequence_string (eval ctx property) in
+      let v = I.sequence_string (eval ctx value) in
+      List.iter
+        (function
+          | I.Node n -> ctx.D.host.D.set_style n prop v
+          | I.Atomic _ -> type_err "set style target must be nodes")
+        (eval ctx target);
+      []
+  | Ast.E_get_style { property; target } -> (
+      let prop = I.sequence_string (eval ctx property) in
+      match eval ctx target with
+      | I.Node n :: _ -> (
+          match ctx.D.host.D.get_style n prop with
+          | Some v -> [ I.Atomic (A.String v) ]
+          | None -> [])
+      | _ -> [])
+
+and eval_ft ctx hay (sel : Ast.ft_selection) =
+  match sel with
+  | Ast.Ft_and (a, b) -> eval_ft ctx hay a && eval_ft ctx hay b
+  | Ast.Ft_or (a, b) -> eval_ft ctx hay a || eval_ft ctx hay b
+  | Ast.Ft_not a -> not (eval_ft ctx hay a)
+  | Ast.Ft_words (e, opts) ->
+      let stemming = List.mem Ast.Ft_stemming opts in
+      let phrases = List.map I.item_string (eval ctx e) in
+      List.exists (fun p -> Fulltext.contains ~stemming hay p) phrases
+
+and apply_predicates ctx items preds =
+  List.fold_left
+    (fun items pred ->
+      let n = List.length items in
+      let keep =
+        List.filteri
+          (fun i item ->
+            let pos = i + 1 in
+            let fctx = D.with_focus ctx item ~position:pos ~size:n in
+            let v = eval fctx pred in
+            match v with
+            | [ I.Atomic a ] when A.is_numeric a ->
+                guard (fun () -> A.compare_value a (A.Integer pos) = 0)
+            | v -> I.effective_boolean v)
+          items
+      in
+      keep)
+    items preds
+
+and eval_flwor ctx ~clauses ~where ~order ~return =
+  (* build the tuple stream as a list of contexts *)
+  let rec expand ctxs = function
+    | [] -> ctxs
+    | Ast.Let_clause { var; var_type; value } :: rest ->
+        let ctxs =
+          List.map
+            (fun c ->
+              let v = eval c value in
+              let v =
+                match var_type with
+                | Some st -> Seq_type.coerce ~what:("$" ^ Qname.to_string var) st v
+                | None -> v
+              in
+              D.bind c var v)
+            ctxs
+        in
+        expand ctxs rest
+    | Ast.For_clause { var; pos_var; var_type; source } :: rest ->
+        let ctxs =
+          List.concat_map
+            (fun c ->
+              let items = eval c source in
+              List.mapi
+                (fun i item ->
+                  let item_seq = [ item ] in
+                  let item_seq =
+                    match var_type with
+                    | Some st ->
+                        Seq_type.coerce ~what:("$" ^ Qname.to_string var) st item_seq
+                    | None -> item_seq
+                  in
+                  let c = D.bind c var item_seq in
+                  match pos_var with
+                  | Some pv -> D.bind c pv [ I.Atomic (A.Integer (i + 1)) ]
+                  | None -> c)
+                items)
+            ctxs
+        in
+        expand ctxs rest
+  in
+  let tuples = expand [ ctx ] clauses in
+  let tuples =
+    match where with
+    | None -> tuples
+    | Some w -> List.filter (fun c -> I.effective_boolean (eval c w)) tuples
+  in
+  let tuples =
+    if order = [] then tuples
+    else begin
+      let keyed =
+        List.map
+          (fun c ->
+            let keys =
+              List.map
+                (fun spec ->
+                  let v = I.atomize (eval c spec.Ast.key) in
+                  match v with
+                  | [] -> None
+                  | [ a ] -> Some a
+                  | _ -> type_err "order by key must be a singleton")
+                order
+            in
+            (keys, c))
+          tuples
+      in
+      let compare_keys ka kb =
+        let rec go ka kb specs =
+          match (ka, kb, specs) with
+          | [], [], _ -> 0
+          | a :: ra, b :: rb, spec :: rs ->
+              let c =
+                match (a, b) with
+                | None, None -> 0
+                | None, Some _ ->
+                    if spec.Ast.empty_greatest = Some true then 1 else -1
+                | Some _, None ->
+                    if spec.Ast.empty_greatest = Some true then -1 else 1
+                | Some x, Some y ->
+                    let x = match x with A.Untyped s -> A.String s | x -> x in
+                    let y = match y with A.Untyped s -> A.String s | y -> y in
+                    guard (fun () -> A.compare_value x y)
+              in
+              let c = if spec.Ast.descending then -c else c in
+              if c <> 0 then c else go ra rb rs
+          | _ -> 0
+        in
+        go ka kb order
+      in
+      List.stable_sort (fun (ka, _) (kb, _) -> compare_keys ka kb) keyed
+      |> List.map snd
+    end
+  in
+  List.concat_map (fun c -> eval c return) tuples
+
+and eval_insert ctx pos source_e target_e =
+  let source_items = eval ctx source_e in
+  let attrs, kids = normalize_content source_items in
+  let target =
+    match eval ctx target_e with
+    | [ I.Node n ] -> n
+    | _ -> err Xq_error.update_target "insert target must be a single node"
+  in
+  (match (pos : Ast.insert_position) with
+  | Ast.Into | Ast.As_first_into | Ast.As_last_into ->
+      (match Dom.kind target with
+      | Dom.Element | Dom.Document -> ()
+      | _ ->
+          err Xq_error.update_target
+            "insert into target must be an element or document");
+      if attrs <> [] then Pul.add ctx.D.pul (Pul.Insert_attributes (target, attrs));
+      if kids <> [] then
+        Pul.add ctx.D.pul
+          (match pos with
+          | Ast.Into | Ast.As_last_into -> Pul.Insert_into (target, kids)
+          | Ast.As_first_into -> Pul.Insert_first (target, kids)
+          | _ -> assert false)
+  | Ast.Before | Ast.After ->
+      if attrs <> [] then
+        err Xq_error.update_target "cannot insert attributes before/after a node";
+      if kids <> [] then
+        Pul.add ctx.D.pul
+          (match pos with
+          | Ast.Before -> Pul.Insert_before (target, kids)
+          | _ -> Pul.Insert_after (target, kids)));
+  []
+
+(* -------- scripting blocks -------- *)
+
+and eval_block ctx ~script stmts =
+  if not script then
+    match stmts with
+    | [ Ast.S_expr e ] -> eval ctx e
+    | _ -> type_err "a non-sequential function body must be a single expression"
+  else begin
+    let result = ref [] in
+    let rec step c (stmt : Ast.statement) =
+      let c', v =
+        match stmt with
+        | Ast.S_expr e -> (c, eval c e)
+        | Ast.S_var_decl (var, var_type, init) ->
+            let v =
+              match init with
+              | Some e ->
+                  let v = eval c e in
+                  Option.fold ~none:v
+                    ~some:(fun st ->
+                      Seq_type.coerce ~what:("$" ^ Qname.to_string var) st v)
+                    var_type
+              | None -> []
+            in
+            (D.bind c var v, [])
+        | Ast.S_assign (var, e) ->
+            let v = eval c e in
+            let r = D.lookup_ref c var in
+            r := v;
+            (c, [])
+        | Ast.S_while (cond, body) ->
+            let rec loop c =
+              if I.effective_boolean (eval c cond) then begin
+                match
+                  List.fold_left
+                    (fun c stmt ->
+                      let c, _ = step_stmt c stmt in
+                      c)
+                    c body
+                with
+                | c -> loop c
+                | exception Break_loop -> c
+                | exception Continue_loop -> loop c
+              end
+              else c
+            in
+            (loop c, [])
+        | Ast.S_break ->
+            Pul.apply c.D.pul;
+            raise Break_loop
+        | Ast.S_continue ->
+            Pul.apply c.D.pul;
+            raise Continue_loop
+        | Ast.S_exit_with e ->
+            let v = eval c e in
+            Pul.apply c.D.pul;
+            raise (Exit_with v)
+      in
+      (c', v)
+    and step_stmt c stmt =
+      let c', v = step c stmt in
+      (* scripting: side effects become visible between statements *)
+      Pul.apply c'.D.pul;
+      (c', v)
+    in
+    ignore
+      (List.fold_left
+         (fun c stmt ->
+           let c', v = step_stmt c stmt in
+           result := v;
+           c')
+         ctx stmts);
+    !result
+  end
+
+(* -------- function calls -------- *)
+
+and build_call_ctx (ctx : D.t) =
+  {
+    Call_ctx.context_item =
+      (match ctx.D.focus with Some f -> Some f.D.item | None -> None);
+    position = (match ctx.D.focus with Some f -> f.D.position | None -> 0);
+    size = (match ctx.D.focus with Some f -> f.D.size | None -> 0);
+    doc = ctx.D.host.D.doc;
+    doc_available = ctx.D.host.D.doc_available;
+    put = ctx.D.host.D.put;
+    now = ctx.D.host.D.now;
+    trace = Call_ctx.default.Call_ctx.trace;
+  }
+
+and eval_call ctx qn arg_exprs =
+  let args = List.map (eval ctx) arg_exprs in
+  call_function ctx qn args
+
+and call_function ctx qn args =
+  let arity = List.length args in
+  if Static_context.is_blocked ctx.D.static qn then
+    err Xq_error.security "function %s is blocked in this context (browser security policy)"
+      (Qname.to_string qn);
+  (* xs: constructor functions are casts *)
+  match qn.Qname.uri with
+  | Some u when String.equal u Qname.Ns.xs && arity = 1 -> (
+      match A.type_of_name qn.Qname.local with
+      | Some ty -> (
+          match I.atomize (List.hd args) with
+          | [] -> []
+          | [ a ] -> [ I.Atomic (guard (fun () -> A.cast ~target:ty a)) ]
+          | _ -> type_err "constructor function requires a singleton")
+      | None ->
+          err Xq_error.unknown_function "unknown type constructor xs:%s"
+            qn.Qname.local)
+  | _ -> (
+      match Static_context.find_function ctx.D.static qn ~arity with
+      | Some decl -> call_user_function ctx decl args
+      | None -> (
+          match Static_context.find_external ctx.D.static qn ~arity with
+          | Some f -> f (build_call_ctx ctx) args
+          | None -> (
+              match Functions.find qn ~arity with
+              | Some f -> guard (fun () -> f (build_call_ctx ctx) args)
+              | None ->
+                  err Xq_error.unknown_function
+                    "unknown function %s#%d" (Qname.to_string qn) arity)))
+
+and call_user_function ctx (decl : Ast.function_decl) args =
+  if ctx.D.depth > max_depth then
+    err "XQDY0054" "maximum recursion depth exceeded in %s"
+      (Qname.to_string decl.Ast.fname);
+  let fctx = D.function_scope ctx in
+  let fctx =
+    List.fold_left2
+      (fun c (pname, ptype) arg ->
+        let arg =
+          match ptype with
+          | Some st -> Seq_type.coerce ~what:("$" ^ Qname.to_string pname) st arg
+          | None -> arg
+        in
+        D.bind c pname arg)
+      fctx decl.Ast.params args
+  in
+  let body =
+    match decl.Ast.body with
+    | Some b -> b
+    | None ->
+        err Xq_error.unknown_function "external function %s has no implementation"
+          (Qname.to_string decl.Ast.fname)
+  in
+  let run () =
+    match (decl.Ast.kind, body) with
+    | Ast.F_sequential, Ast.E_block stmts -> eval_block fctx ~script:true stmts
+    | _, Ast.E_block [ Ast.S_expr e ] -> eval fctx e
+    | _, Ast.E_block stmts -> eval_block fctx ~script:true stmts
+    | _, e -> eval fctx e
+  in
+  let result =
+    try run () with
+    | Exit_with v -> v
+    | Break_loop | Continue_loop ->
+        err "XSST0010" "break/continue outside of a while loop"
+  in
+  match decl.Ast.return_type with
+  | Some st ->
+      Seq_type.coerce ~what:(Qname.to_string decl.Ast.fname ^ " result") st result
+  | None -> result
+
+and make_listener ctx qn =
+  let invoke args =
+    let arity_for n = Static_context.find_function ctx.D.static qn ~arity:n in
+    (* pad/truncate the provided arguments to a declared arity *)
+    let args =
+      let rec fit n =
+        if n < 0 then args
+        else if arity_for n <> None then begin
+          let provided = List.length args in
+          if provided >= n then List.filteri (fun i _ -> i < n) args
+          else args @ List.init (n - provided) (fun _ -> [])
+        end
+        else fit (n - 1)
+      in
+      fit 4
+    in
+    match protect (fun () -> call_function ctx qn args) with
+    | _ -> Pul.apply ctx.D.pul
+    | exception Xq_error.Error e ->
+        Pul.clear ctx.D.pul;
+        ctx.D.host.D.listener_error (Xq_error.to_string e)
+    | exception Exit_with _ -> Pul.apply ctx.D.pul
+  in
+  { D.listener_name = qn; invoke }

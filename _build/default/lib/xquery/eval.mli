@@ -1,0 +1,39 @@
+(** The XQuery evaluator: expressions, FLWOR, paths, constructors,
+    updates (pending update lists), scripting blocks, and the browser
+    extension expressions (dispatched to the host hooks). *)
+
+open Xmlb
+
+(** Raised by the scripting [exit with] statement; caught at function
+    and program boundaries. *)
+exception Exit_with of Xdm_item.sequence
+
+(** Raised by scripting [break]/[continue]; caught by the nearest
+    enclosing [while] and converted to an error at function and
+    program boundaries. *)
+exception Break_loop
+
+exception Continue_loop
+
+(** Convert stray data-model exceptions ({!Xdm_atomic.Type_error},
+    {!Xdm_atomic.Cast_error}, [Division_by_zero]) raised by [f] into
+    {!Xq_error.Error}. All public entry points route through this. *)
+val protect : (unit -> 'a) -> 'a
+
+val eval : Dynamic_context.t -> Ast.expr -> Xdm_item.sequence
+
+(** Evaluate a block of statements. [script] selects scripting
+    semantics (updates applied at every statement boundary, paper
+    §3.3); otherwise the block must be a single expression statement. *)
+val eval_block :
+  Dynamic_context.t -> script:bool -> Ast.statement list -> Xdm_item.sequence
+
+(** Call a declared/external/built-in function by name with already
+    evaluated arguments. *)
+val call_function :
+  Dynamic_context.t -> Qname.t -> Xdm_item.sequence list -> Xdm_item.sequence
+
+(** Build a host listener that invokes the named function (padding or
+    truncating arguments to its arity) and then applies pending
+    updates — the paper's listener execution cycle (Fig. 1). *)
+val make_listener : Dynamic_context.t -> Qname.t -> Dynamic_context.listener

@@ -1,0 +1,85 @@
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let tokens s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if not (is_word_char s.[i]) then go (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && is_word_char s.[!j] do
+        incr j
+      done;
+      let word = String.lowercase_ascii (String.sub s i (!j - i)) in
+      go !j (word :: acc)
+    end
+  in
+  go 0 []
+
+(* A compact Porter-style stemmer: strips common English suffixes with
+   minimal-length guards. Deliberately approximate: full-text here only
+   needs to make "dogs"/"dog", "stemming"/"stem" style pairs meet. *)
+let stem w =
+  let strip suffix min_stem w =
+    let lw = String.length w and ls = String.length suffix in
+    if lw - ls >= min_stem && lw >= ls && String.sub w (lw - ls) ls = suffix then
+      Some (String.sub w 0 (lw - ls))
+    else None
+  in
+  let rules =
+    [
+      ("ational", 4, "ate");
+      ("ization", 4, "ize");
+      ("fulness", 4, "ful");
+      ("iveness", 4, "ive");
+      ("ements", 3, "ement");
+      ("ement", 3, "e");
+      ("ities", 3, "ity");
+      ("ingly", 3, "");
+      ("edly", 3, "");
+      ("ing", 3, "");
+      ("ies", 2, "y");
+      ("sses", 3, "ss");
+      ("ed", 3, "");
+      ("es", 3, "");
+      ("ly", 3, "");
+      ("s", 3, "");
+    ]
+  in
+  let rec try_rules = function
+    | [] -> w
+    | (suffix, min_stem, replacement) :: rest -> (
+        match strip suffix min_stem w with
+        | Some stemmed ->
+            let r = stemmed ^ replacement in
+            (* undouble final consonant: "stemm" -> "stem" *)
+            let lr = String.length r in
+            if
+              lr >= 2
+              && r.[lr - 1] = r.[lr - 2]
+              && not (List.mem r.[lr - 1] [ 'l'; 's'; 'z' ])
+            then String.sub r 0 (lr - 1)
+            else r
+        | None -> try_rules rest)
+  in
+  try_rules rules
+
+let contains ~stemming haystack phrase =
+  let normalize toks = if stemming then List.map stem toks else toks in
+  let hay = normalize (tokens haystack) in
+  let needle = normalize (tokens phrase) in
+  match needle with
+  | [] -> true
+  | _ ->
+      let rec at_prefix hay needle =
+        match (hay, needle) with
+        | _, [] -> true
+        | [], _ -> false
+        | h :: hs, n :: ns -> String.equal h n && at_prefix hs ns
+      in
+      let rec scan = function
+        | [] -> false
+        | _ :: rest as hay -> at_prefix hay needle || scan rest
+      in
+      scan hay

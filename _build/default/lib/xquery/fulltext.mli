@@ -1,0 +1,14 @@
+(** A pragmatic subset of XQuery Full-Text: tokenization, case folding,
+    optional stemming — enough for the paper's [ftcontains] examples
+    (e.g. ["dog" with stemming) ftand "cat"], §3.1). *)
+
+(** Tokenize on non-alphanumeric boundaries and case-fold. *)
+val tokens : string -> string list
+
+(** A Porter-style suffix stemmer (simplified). *)
+val stem : string -> string
+
+(** [contains ~stemming haystack phrase] — does the haystack contain
+    all the tokens of [phrase] as a contiguous phrase? With [stemming],
+    both sides are stemmed first. *)
+val contains : stemming:bool -> string -> string -> bool

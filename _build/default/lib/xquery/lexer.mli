@@ -1,0 +1,89 @@
+(** Tokenizer for XQuery (with update, scripting, full-text and browser
+    extensions).
+
+    XQuery lexing is context-sensitive: inside direct constructors the
+    parser switches to raw character reading. The lexer therefore
+    exposes both a token stream (with one-token lookahead/pushback) and
+    raw character-level access at the current position. *)
+
+type token =
+  | T_integer of int
+  | T_decimal of float
+  | T_double of float
+  | T_string of string  (** string literal, entities expanded *)
+  | T_name of string  (** NCName, no colon *)
+  | T_qname of string * string  (** prefix, local *)
+  | T_ns_wildcard of string  (** [prefix:*] *)
+  | T_local_wildcard of string  (** [*:local] *)
+  | T_var of string * string option  (** [$local] or [$prefix:local] *)
+  | T_lpar
+  | T_rpar
+  | T_lbracket
+  | T_rbracket
+  | T_lbrace
+  | T_rbrace
+  | T_comma
+  | T_semi
+  | T_dot
+  | T_dotdot
+  | T_slash
+  | T_slashslash
+  | T_at
+  | T_colonequals  (** [:=] *)
+  | T_coloncolon  (** [::] *)
+  | T_star
+  | T_plus
+  | T_minus
+  | T_eq  (** [=] *)
+  | T_ne  (** [!=] *)
+  | T_lt
+  | T_le
+  | T_gt
+  | T_ge
+  | T_ltlt
+  | T_gtgt
+  | T_vbar
+  | T_question
+  | T_tag_open  (** [<] immediately followed by a name start: [<name] *)
+  | T_pragma of string  (** [(# ... #)] pragma contents, unparsed *)
+  | T_eof
+
+type t
+
+val create : string -> t
+
+(** Current token (computes and caches it). *)
+val peek : t -> token
+
+(** Consume the current token and return it. *)
+val next : t -> token
+
+(** Line/column of the current token, for error messages. *)
+val position : t -> int * int
+
+val error : t -> ('a, unit, string, 'b) format4 -> 'a
+
+(** {1 Raw access for the direct-constructor sub-parser}
+
+    Raw access invalidates the cached token; the next {!peek} re-lexes
+    from the raw position. *)
+
+val raw_peek : t -> char option
+val raw_next : t -> char option
+val raw_looking_at : t -> string -> bool
+val raw_skip : t -> int -> unit
+
+(** Read raw characters until the delimiter (consumed); fails at EOF. *)
+val raw_until : t -> string -> string
+
+val raw_read_name : t -> string
+val raw_skip_space : t -> unit
+
+val token_to_string : token -> string
+
+(** {1 Backtracking} *)
+
+type snapshot
+
+val save : t -> snapshot
+val restore : t -> snapshot -> unit

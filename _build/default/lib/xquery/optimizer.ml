@@ -1,0 +1,256 @@
+open Xmlb
+module A = Xdm_atomic
+
+let rewrites = ref 0
+
+let fired e =
+  incr rewrites;
+  e
+
+let rewrite_count () = !rewrites
+
+let is_count_call qn = qn.Qname.local = "count" && qn.Qname.uri = Some Qname.Ns.fn
+let fn_call name args = Ast.E_call (Qname.make ~uri:Qname.Ns.fn name, args)
+
+let literal_bool = function
+  | Ast.E_literal (A.Boolean b) -> Some b
+  | Ast.E_call ({ Qname.local = "true"; uri = Some u; _ }, [])
+    when u = Qname.Ns.fn ->
+      Some true
+  | Ast.E_call ({ Qname.local = "false"; uri = Some u; _ }, [])
+    when u = Qname.Ns.fn ->
+      Some false
+  | _ -> None
+
+let literal_zero = function
+  | Ast.E_literal (A.Integer 0) -> true
+  | _ -> false
+
+(* one bottom-up pass; [go] recurses, then local rules fire *)
+let rec go (e : Ast.expr) : Ast.expr =
+  let e = descend e in
+  if Ast.is_updating e then e else rules e
+
+and rules e =
+  match e with
+  (* constant folding: arithmetic on numeric literals *)
+  | Ast.E_arith (op, Ast.E_literal a, Ast.E_literal b)
+    when A.is_numeric a && A.is_numeric b -> (
+      let f =
+        match op with
+        | Ast.Add -> A.add
+        | Ast.Sub -> A.subtract
+        | Ast.Mul -> A.multiply
+        | Ast.Div -> A.divide
+        | Ast.Idiv -> A.integer_divide
+        | Ast.Mod -> A.modulo
+      in
+      match f a b with
+      | v -> fired (Ast.E_literal v)
+      | exception _ -> e)
+  (* boolean short-circuits with constants *)
+  | Ast.E_and (a, b) -> (
+      match (literal_bool a, literal_bool b) with
+      | Some false, _ | _, Some false ->
+          fired (Ast.E_literal (A.Boolean false))
+      | Some true, _ -> fired (fn_call "boolean" [ b ])
+      | _, Some true -> fired (fn_call "boolean" [ a ])
+      | _ -> e)
+  | Ast.E_or (a, b) -> (
+      match (literal_bool a, literal_bool b) with
+      | Some true, _ | _, Some true -> fired (Ast.E_literal (A.Boolean true))
+      | Some false, _ -> fired (fn_call "boolean" [ b ])
+      | _, Some false -> fired (fn_call "boolean" [ a ])
+      | _ -> e)
+  (* constant conditionals *)
+  | Ast.E_if (c, t, f) -> (
+      match literal_bool c with
+      | Some true -> fired t
+      | Some false -> fired f
+      | None -> e)
+  (* //x : descendant-or-self::node()/child::x  →  descendant::x *)
+  | Ast.E_path
+      ( Ast.E_path (base, Ast.E_step (Ast.Descendant_or_self, Ast.Kind_test Ast.Any_kind, [])),
+        Ast.E_step (Ast.Child, test, preds) )
+    when not (has_positional preds) ->
+      fired (Ast.E_path (base, Ast.E_step (Ast.Descendant, test, preds)))
+  (* e/self::node() → e *)
+  | Ast.E_path (base, Ast.E_step (Ast.Self, Ast.Kind_test Ast.Any_kind, [])) ->
+      fired base
+  (* predicate [true()] elimination *)
+  | Ast.E_step (axis, test, preds)
+    when List.exists (fun p -> literal_bool p = Some true) preds ->
+      fired
+        (Ast.E_step
+           (axis, test, List.filter (fun p -> literal_bool p <> Some true) preds))
+  | Ast.E_filter (base, preds)
+    when List.exists (fun p -> literal_bool p = Some true) preds -> (
+      match List.filter (fun p -> literal_bool p <> Some true) preds with
+      | [] -> fired base
+      | preds -> fired (Ast.E_filter (base, preds)))
+  (* count(e) = 0 → empty(e); count(e) != 0 / > 0 / >= 1 → exists(e) *)
+  | Ast.E_general_comp (Ast.Eq, Ast.E_call (qn, [ arg ]), z)
+  | Ast.E_value_comp (Ast.Eq, Ast.E_call (qn, [ arg ]), z)
+    when is_count_call qn && literal_zero z ->
+      fired (fn_call "empty" [ arg ])
+  | Ast.E_general_comp (Ast.Ne, Ast.E_call (qn, [ arg ]), z)
+  | Ast.E_value_comp (Ast.Ne, Ast.E_call (qn, [ arg ]), z)
+  | Ast.E_general_comp (Ast.Gt, Ast.E_call (qn, [ arg ]), z)
+  | Ast.E_value_comp (Ast.Gt, Ast.E_call (qn, [ arg ]), z)
+    when is_count_call qn && literal_zero z ->
+      fired (fn_call "exists" [ arg ])
+  | Ast.E_general_comp (Ast.Ge, Ast.E_call (qn, [ arg ]), Ast.E_literal (A.Integer 1))
+  | Ast.E_value_comp (Ast.Ge, Ast.E_call (qn, [ arg ]), Ast.E_literal (A.Integer 1))
+    when is_count_call qn ->
+      fired (fn_call "exists" [ arg ])
+  (* flatten nested sequences *)
+  | Ast.E_sequence es when List.exists (function Ast.E_sequence _ -> true | _ -> false) es ->
+      fired
+        (Ast.E_sequence
+           (List.concat_map
+              (function Ast.E_sequence inner -> inner | e -> [ e ])
+              es))
+  | e -> e
+
+and has_positional preds =
+  (* conservative: any predicate that is a bare numeric literal or
+     mentions fn:position()/fn:last() blocks the //-rewrite *)
+  let rec mentions_focus = function
+    | Ast.E_literal a -> A.is_numeric a
+    | Ast.E_call ({ Qname.local = ("position" | "last"); uri = Some u; _ }, [])
+      when u = Qname.Ns.fn ->
+        true
+    | Ast.E_arith (_, a, b)
+    | Ast.E_general_comp (_, a, b)
+    | Ast.E_value_comp (_, a, b)
+    | Ast.E_and (a, b)
+    | Ast.E_or (a, b) ->
+        mentions_focus a || mentions_focus b
+    | _ -> false
+  in
+  List.exists mentions_focus preds
+
+and descend e =
+  let g = go in
+  match (e : Ast.expr) with
+  | Ast.E_literal _ | Ast.E_var _ | Ast.E_context_item | Ast.E_root
+  | Ast.E_text_literal _ ->
+      e
+  | Ast.E_sequence es -> Ast.E_sequence (List.map g es)
+  | Ast.E_range (a, b) -> Ast.E_range (g a, g b)
+  | Ast.E_if (c, t, f) -> Ast.E_if (g c, g t, g f)
+  | Ast.E_or (a, b) -> Ast.E_or (g a, g b)
+  | Ast.E_and (a, b) -> Ast.E_and (g a, g b)
+  | Ast.E_value_comp (op, a, b) -> Ast.E_value_comp (op, g a, g b)
+  | Ast.E_general_comp (op, a, b) -> Ast.E_general_comp (op, g a, g b)
+  | Ast.E_node_comp (op, a, b) -> Ast.E_node_comp (op, g a, g b)
+  | Ast.E_ftcontains (a, sel) -> Ast.E_ftcontains (g a, go_ft sel)
+  | Ast.E_arith (op, a, b) -> Ast.E_arith (op, g a, g b)
+  | Ast.E_unary_minus a -> Ast.E_unary_minus (g a)
+  | Ast.E_union (a, b) -> Ast.E_union (g a, g b)
+  | Ast.E_intersect (a, b) -> Ast.E_intersect (g a, g b)
+  | Ast.E_except (a, b) -> Ast.E_except (g a, g b)
+  | Ast.E_instance_of (a, st) -> Ast.E_instance_of (g a, st)
+  | Ast.E_treat_as (a, st) -> Ast.E_treat_as (g a, st)
+  | Ast.E_castable_as (a, ty, o) -> Ast.E_castable_as (g a, ty, o)
+  | Ast.E_cast_as (a, ty, o) -> Ast.E_cast_as (g a, ty, o)
+  | Ast.E_step (axis, test, preds) -> Ast.E_step (axis, test, List.map g preds)
+  | Ast.E_path (a, b) -> Ast.E_path (g a, g b)
+  | Ast.E_filter (a, preds) -> Ast.E_filter (g a, List.map g preds)
+  | Ast.E_call (qn, args) -> Ast.E_call (qn, List.map g args)
+  | Ast.E_ordered a -> Ast.E_ordered (g a)
+  | Ast.E_unordered a -> Ast.E_unordered (g a)
+  | Ast.E_enclosed a -> Ast.E_enclosed (g a)
+  | Ast.E_flwor { clauses; where; order; return } ->
+      let clauses =
+        List.map
+          (function
+            | Ast.For_clause { var; pos_var; var_type; source } ->
+                Ast.For_clause { var; pos_var; var_type; source = g source }
+            | Ast.Let_clause { var; var_type; value } ->
+                Ast.Let_clause { var; var_type; value = g value })
+          clauses
+      in
+      Ast.E_flwor
+        {
+          clauses;
+          where = Option.map g where;
+          order = List.map (fun o -> { o with Ast.key = g o.Ast.key }) order;
+          return = g return;
+        }
+  | Ast.E_quantified (q, binds, body) ->
+      Ast.E_quantified
+        (q, List.map (fun (v, t, e) -> (v, t, g e)) binds, g body)
+  | Ast.E_typeswitch (op, cases, (dv, db)) ->
+      Ast.E_typeswitch
+        ( g op,
+          List.map (fun c -> { c with Ast.case_body = g c.Ast.case_body }) cases,
+          (dv, g db) )
+  | Ast.E_direct_element { name; attributes; children } ->
+      Ast.E_direct_element
+        {
+          name;
+          attributes =
+            List.map
+              (fun (an, parts) ->
+                ( an,
+                  List.map
+                    (function
+                      | Ast.A_text t -> Ast.A_text t
+                      | Ast.A_enclosed e -> Ast.A_enclosed (g e))
+                    parts ))
+              attributes;
+          children = List.map g children;
+        }
+  | Ast.E_computed_element (a, b) -> Ast.E_computed_element (g a, g b)
+  | Ast.E_computed_attribute (a, b) -> Ast.E_computed_attribute (g a, g b)
+  | Ast.E_computed_text a -> Ast.E_computed_text (g a)
+  | Ast.E_computed_comment a -> Ast.E_computed_comment (g a)
+  | Ast.E_computed_pi (a, b) -> Ast.E_computed_pi (g a, g b)
+  | Ast.E_computed_document a -> Ast.E_computed_document (g a)
+  | Ast.E_insert (p, a, b) -> Ast.E_insert (p, g a, g b)
+  | Ast.E_delete a -> Ast.E_delete (g a)
+  | Ast.E_replace { value_of; target; source } ->
+      Ast.E_replace { value_of; target = g target; source = g source }
+  | Ast.E_rename (a, b) -> Ast.E_rename (g a, g b)
+  | Ast.E_transform (binds, m, r) ->
+      Ast.E_transform (List.map (fun (v, e) -> (v, g e)) binds, g m, g r)
+  | Ast.E_block stmts -> Ast.E_block (List.map go_stmt stmts)
+  | Ast.E_event_attach { event; binding; target; listener } ->
+      Ast.E_event_attach { event = g event; binding; target = g target; listener }
+  | Ast.E_event_detach { event; target; listener } ->
+      Ast.E_event_detach { event = g event; target = g target; listener }
+  | Ast.E_event_trigger { event; target } ->
+      Ast.E_event_trigger { event = g event; target = g target }
+  | Ast.E_set_style { property; target; value } ->
+      Ast.E_set_style { property = g property; target = g target; value = g value }
+  | Ast.E_get_style { property; target } ->
+      Ast.E_get_style { property = g property; target = g target }
+
+and go_ft = function
+  | Ast.Ft_words (e, o) -> Ast.Ft_words (go e, o)
+  | Ast.Ft_and (a, b) -> Ast.Ft_and (go_ft a, go_ft b)
+  | Ast.Ft_or (a, b) -> Ast.Ft_or (go_ft a, go_ft b)
+  | Ast.Ft_not a -> Ast.Ft_not (go_ft a)
+
+and go_stmt = function
+  | Ast.S_var_decl (v, t, e) -> Ast.S_var_decl (v, t, Option.map go e)
+  | Ast.S_assign (v, e) -> Ast.S_assign (v, go e)
+  | Ast.S_while (c, body) -> Ast.S_while (go c, List.map go_stmt body)
+  | (Ast.S_break | Ast.S_continue) as s -> s
+  | Ast.S_exit_with e -> Ast.S_exit_with (go e)
+  | Ast.S_expr e -> Ast.S_expr (go e)
+
+let optimize_expr e = go e
+
+let optimize (prog : Ast.prog) =
+  let prolog =
+    List.map
+      (function
+        | Ast.P_function f ->
+            Ast.P_function { f with Ast.body = Option.map go f.Ast.body }
+        | Ast.P_variable (v, t, e) -> Ast.P_variable (v, t, Option.map go e)
+        | d -> d)
+      prog.Ast.prolog
+  in
+  { prog with Ast.prolog; body = Option.map go prog.Ast.body }

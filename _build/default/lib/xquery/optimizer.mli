@@ -1,0 +1,22 @@
+(** A rule-based expression rewriter.
+
+    The paper motivates XQuery in the browser partly by its
+    optimisability ("XQuery is carefully designed to be highly
+    optimisable", §1); this module implements a representative set of
+    algebraic rewrites so the claim can be measured (bench T5):
+
+    - constant folding of arithmetic, logic and conditionals;
+    - [descendant-or-self::node()/child::x] → [descendant::x];
+    - trivial-predicate and self-step elimination;
+    - [fn:count(e) = 0] → [fn:empty(e)], [> 0] → [fn:exists(e)].
+
+    Rewrites never fire on updating or side-effecting nodes
+    themselves; pure subexpressions inside them are still
+    simplified. *)
+
+val optimize_expr : Ast.expr -> Ast.expr
+val optimize : Ast.prog -> Ast.prog
+
+(** Number of rewrites fired since start (for tests and the ablation
+    bench report). *)
+val rewrite_count : unit -> int

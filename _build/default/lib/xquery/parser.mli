@@ -1,0 +1,17 @@
+(** Recursive-descent parser for XQuery 1.0 + Update Facility +
+    Scripting + Full-Text subset + browser extensions.
+
+    Parsing resolves all QNames against the evolving static context
+    (prolog namespace declarations and constructor [xmlns] attributes),
+    and records prolog declarations (functions, variables, options,
+    module imports) into the supplied static context. *)
+
+val parse_program : Static_context.t -> string -> Ast.prog
+
+(** Hook invoked on [import module]: loads/registers the module into
+    the static context. Set by {!Engine} to tie the parse/load knot. *)
+val module_loader :
+  (Static_context.t -> uri:string -> locations:string list -> unit) ref
+
+(** Parse a single expression (no prolog). *)
+val parse_expression : Static_context.t -> string -> Ast.expr

@@ -1,0 +1,100 @@
+open Xmlb
+
+type primitive =
+  | Insert_into of Dom.node * Dom.node list
+  | Insert_first of Dom.node * Dom.node list
+  | Insert_last of Dom.node * Dom.node list
+  | Insert_before of Dom.node * Dom.node list
+  | Insert_after of Dom.node * Dom.node list
+  | Insert_attributes of Dom.node * Dom.node list
+  | Delete of Dom.node
+  | Replace_node of Dom.node * Dom.node list
+  | Replace_value of Dom.node * string
+  | Rename of Dom.node * Qname.t
+
+type t = { mutable items : primitive list (* reversed *) }
+
+let create () = { items = [] }
+let add t p = t.items <- p :: t.items
+let is_empty t = t.items = []
+let length t = List.length t.items
+let merge ~into t = into.items <- t.items @ into.items
+let clear t = t.items <- []
+
+let check_conflicts prims =
+  let seen_rename : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let seen_replace : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let seen_replace_value : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let check table code what node =
+    let id = Dom.id node in
+    if Hashtbl.mem table id then
+      Xq_error.raise_error code "two %s operations target the same node" what
+    else Hashtbl.add table id ()
+  in
+  List.iter
+    (function
+      | Rename (n, _) -> check seen_rename Xq_error.update_conflict_rename "rename" n
+      | Replace_node (n, _) ->
+          check seen_replace Xq_error.update_conflict_replace "replace node" n
+      | Replace_value (n, _) ->
+          check seen_replace_value Xq_error.update_conflict_replace
+            "replace value" n
+      | Insert_into _ | Insert_first _ | Insert_last _ | Insert_before _
+      | Insert_after _ | Insert_attributes _ | Delete _ ->
+          ())
+    prims
+
+let rank = function
+  | Replace_value _ | Rename _ -> 0
+  | Insert_into _ | Insert_first _ | Insert_last _ | Insert_before _
+  | Insert_after _ | Insert_attributes _ ->
+      1
+  | Replace_node _ -> 2
+  | Delete _ -> 3
+
+let apply_one = function
+  | Insert_into (target, nodes) | Insert_last (target, nodes) ->
+      List.iter (fun n -> Dom.append_child ~parent:target n) nodes
+  | Insert_first (target, nodes) ->
+      List.iter (fun n -> Dom.insert_first ~parent:target n) (List.rev nodes)
+  | Insert_before (sibling, nodes) ->
+      List.iter (fun n -> Dom.insert_before ~sibling n) nodes
+  | Insert_after (sibling, nodes) ->
+      List.iter (fun n -> Dom.insert_after ~sibling n) (List.rev nodes)
+  | Insert_attributes (target, attrs) ->
+      List.iter (fun a -> Dom.append_attribute ~parent:target a) attrs
+  | Delete n -> Dom.remove n
+  | Replace_node (n, replacements) -> Dom.replace n replacements
+  | Replace_value (n, v) -> Dom.set_value n v
+  | Rename (n, qn) -> Dom.rename n qn
+
+let apply t =
+  let prims = List.rev t.items in
+  t.items <- [];
+  check_conflicts prims;
+  List.iter
+    (fun phase -> List.iter apply_one (List.filter (fun p -> rank p = phase) prims))
+    [ 0; 1; 2; 3 ]
+
+let pp_primitive ppf p =
+  let name =
+    match p with
+    | Insert_into _ -> "insert-into"
+    | Insert_first _ -> "insert-first"
+    | Insert_last _ -> "insert-last"
+    | Insert_before _ -> "insert-before"
+    | Insert_after _ -> "insert-after"
+    | Insert_attributes _ -> "insert-attributes"
+    | Delete _ -> "delete"
+    | Replace_node _ -> "replace-node"
+    | Replace_value _ -> "replace-value"
+    | Rename _ -> "rename"
+  in
+  Format.pp_print_string ppf name
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_primitive)
+    (List.rev t.items)

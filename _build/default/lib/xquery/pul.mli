@@ -1,0 +1,41 @@
+(** Pending update lists (XQuery Update Facility).
+
+    Updating expressions accumulate update primitives; nothing touches
+    the target tree until {!apply}. The paper relies on this snapshot
+    semantics (§3.2: "all modifications are performed once the
+    expression is entirely evaluated") and on the Scripting Extension
+    applying the list at each statement boundary (§3.3). *)
+
+open Xmlb
+
+type primitive =
+  | Insert_into of Dom.node * Dom.node list
+  | Insert_first of Dom.node * Dom.node list
+  | Insert_last of Dom.node * Dom.node list
+  | Insert_before of Dom.node * Dom.node list
+  | Insert_after of Dom.node * Dom.node list
+  | Insert_attributes of Dom.node * Dom.node list
+  | Delete of Dom.node
+  | Replace_node of Dom.node * Dom.node list
+  | Replace_value of Dom.node * string
+  | Rename of Dom.node * Qname.t
+
+type t
+
+val create : unit -> t
+val add : t -> primitive -> unit
+val is_empty : t -> bool
+val length : t -> int
+val merge : into:t -> t -> unit
+
+(** Apply all pending updates in XQUF order (replace-value/rename,
+    inserts, replace-node, deletes), after checking the XQUF conflict
+    rules (duplicate rename: XUDY0015; duplicate replace: XUDY0017,
+    duplicate replace-value: XUDY0017). Clears the list.
+    @raise Xq_error.Error on conflicts. *)
+val apply : t -> unit
+
+(** Drop all pending updates without applying them. *)
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** SequenceType matching ([instance of], [typeswitch], [treat as],
+    function signatures). *)
+
+(** Does one item match an item type? *)
+val item_matches : Ast.item_type -> Xdm_item.item -> bool
+
+(** Does a kind test match a node? (shared with axis steps) *)
+val kind_matches : Ast.kind_test -> Dom.node -> bool
+
+(** Does a sequence match a sequence type? *)
+val matches : Ast.seq_type -> Xdm_item.sequence -> bool
+
+(** Enforce a sequence type with the function-conversion rules applied
+    to atomic targets (untyped values cast to the expected atomic type,
+    numeric promotion).
+    @raise Xq_error.Error (XPTY0004) when the value cannot be made to
+    match. [what] labels the error message. *)
+val coerce : what:string -> Ast.seq_type -> Xdm_item.sequence -> Xdm_item.sequence
+
+val to_string : Ast.seq_type -> string

@@ -1,0 +1,105 @@
+open Xmlb
+
+type external_function =
+  Call_ctx.t -> Xdm_item.sequence list -> Xdm_item.sequence
+
+type module_resolution =
+  | Module_source of string
+  | Module_external of (Qname.t * int * external_function) list
+  | Module_not_found
+
+type t = {
+  mutable ns : Qname.Env.t;
+  mutable default_fun_ns : string;
+  mutable boundary_space : bool;
+  functions : (string, Ast.function_decl) Hashtbl.t;
+  externals : (string, external_function) Hashtbl.t;
+  mutable variables : (Qname.t * Ast.seq_type option * Ast.expr option) list;
+  mutable options : (Qname.t * string) list;
+  mutable blocked : (string * string) list;
+  mutable imported : string list;
+  mutable resolver : uri:string -> locations:string list -> module_resolution;
+}
+
+let create () =
+  {
+    ns = Qname.Env.initial;
+    default_fun_ns = Qname.Ns.fn;
+    boundary_space = false;
+    functions = Hashtbl.create 16;
+    externals = Hashtbl.create 16;
+    variables = [];
+    options = [];
+    blocked = [];
+    imported = [];
+    resolver = (fun ~uri:_ ~locations:_ -> Module_not_found);
+  }
+
+let copy t =
+  {
+    t with
+    functions = Hashtbl.copy t.functions;
+    externals = Hashtbl.copy t.externals;
+  }
+
+let ns_env t = t.ns
+let declare_namespace t ~prefix ~uri = t.ns <- Qname.Env.bind t.ns ~prefix ~uri
+
+let declare_default_element_ns t uri =
+  t.ns <- Qname.Env.bind_default t.ns ~uri:(Some uri)
+
+let declare_default_function_ns t uri = t.default_fun_ns <- uri
+let default_function_ns t = t.default_fun_ns
+
+let resolve t ~kind qn =
+  match qn.Qname.uri with
+  | Some _ -> qn
+  | None -> (
+      match (qn.Qname.prefix, kind) with
+      | None, `Function -> { qn with Qname.uri = Some t.default_fun_ns }
+      | None, `Element -> { qn with Qname.uri = Qname.Env.default t.ns }
+      | None, `Other -> qn
+      | Some p, _ -> (
+          match Qname.Env.lookup t.ns p with
+          | Some uri -> { qn with Qname.uri = Some uri }
+          | None ->
+              Xq_error.raise_error Xq_error.syntax "unbound namespace prefix %S" p))
+
+let key qn arity = Qname.to_clark qn ^ "#" ^ string_of_int arity
+
+let declare_function t (f : Ast.function_decl) =
+  Hashtbl.replace t.functions (key f.Ast.fname (List.length f.Ast.params)) f
+
+let find_function t qn ~arity = Hashtbl.find_opt t.functions (key qn arity)
+
+let declared_functions t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.functions []
+
+let declare_variable t qn st e = t.variables <- t.variables @ [ (qn, st, e) ]
+let global_variables t = t.variables
+let set_option t qn v = t.options <- (qn, v) :: t.options
+
+let get_option t qn =
+  List.find_map
+    (fun (q, v) -> if Qname.equal q qn then Some v else None)
+    t.options
+
+let set_boundary_space_preserve t b = t.boundary_space <- b
+let boundary_space_preserve t = t.boundary_space
+
+let register_external t qn ~arity f = Hashtbl.replace t.externals (key qn arity) f
+let find_external t qn ~arity = Hashtbl.find_opt t.externals (key qn arity)
+
+let block_function t ~uri ~local = t.blocked <- (uri, local) :: t.blocked
+
+let is_blocked t qn =
+  List.exists
+    (fun (uri, local) ->
+      Option.equal String.equal (Some uri) qn.Qname.uri
+      && String.equal local qn.Qname.local)
+    t.blocked
+
+let mark_imported t uri = t.imported <- uri :: t.imported
+let is_imported t uri = List.mem uri t.imported
+let set_module_resolver t r = t.resolver <- r
+let resolve_module t ~uri ~locations = t.resolver ~uri ~locations

@@ -1,0 +1,52 @@
+(** Manipulation of CSS [style] attribute strings ("a: 1; b: 2"), used
+    by the default implementation of the paper's [set style]/[get style]
+    grammar extension (§4.5). *)
+
+let parse s =
+  String.split_on_char ';' s
+  |> List.filter_map (fun decl ->
+         match String.index_opt decl ':' with
+         | None -> None
+         | Some i ->
+             let name = String.trim (String.sub decl 0 i) in
+             let value =
+               String.trim (String.sub decl (i + 1) (String.length decl - i - 1))
+             in
+             if name = "" then None else Some (name, value))
+
+let to_string props =
+  String.concat "; " (List.map (fun (n, v) -> n ^ ": " ^ v) props)
+
+let get s name =
+  List.assoc_opt (String.lowercase_ascii name)
+    (List.map (fun (n, v) -> (String.lowercase_ascii n, v)) (parse s))
+
+let set s name value =
+  let props = parse s in
+  let lname = String.lowercase_ascii name in
+  let replaced = ref false in
+  let props =
+    List.map
+      (fun (n, v) ->
+        if String.lowercase_ascii n = lname then begin
+          replaced := true;
+          (n, value)
+        end
+        else (n, v))
+      props
+  in
+  let props = if !replaced then props else props @ [ (name, value) ] in
+  to_string props
+
+let style_qname = Xmlb.Qname.make "style"
+
+(** Read a style property from an element's [style] attribute. *)
+let get_on_node node name =
+  match Dom.attribute_local node "style" with
+  | None -> None
+  | Some s -> get s name
+
+(** Set a style property on an element's [style] attribute. *)
+let set_on_node node name value =
+  let current = Option.value ~default:"" (Dom.attribute_local node "style") in
+  Dom.set_attribute node style_qname (set current name value)

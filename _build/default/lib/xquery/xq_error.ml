@@ -1,0 +1,21 @@
+type t = { code : string; message : string }
+
+exception Error of t
+
+let raise_error code fmt =
+  Printf.ksprintf (fun message -> raise (Error { code; message })) fmt
+
+let syntax = "XPST0003"
+let undefined_variable = "XPST0008"
+let unknown_function = "XPST0017"
+let type_error_code = "XPTY0004"
+let cast_error_code = "FORG0001"
+let ebv_error = "FORG0006"
+let div_by_zero = "FOAR0001"
+let update_conflict_rename = "XUDY0015"
+let update_conflict_replace = "XUDY0017"
+let update_target = "XUTY0005"
+let security = "SEBR0001"
+
+let to_string { code; message } = Printf.sprintf "[%s] %s" code message
+let pp ppf e = Format.pp_print_string ppf (to_string e)

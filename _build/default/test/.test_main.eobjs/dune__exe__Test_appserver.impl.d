@@ -1,0 +1,1 @@
+test/test_appserver.ml: Alcotest Appserver Doc_store Dom Http_sim List Minijs Option Str String Virtual_clock Xqib Xquery

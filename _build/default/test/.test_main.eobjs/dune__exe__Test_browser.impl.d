@@ -1,0 +1,1 @@
+test/test_browser.ml: Alcotest Dom Http_sim List Option Str String Virtual_clock Xdm_item Xq_error Xqib Xquery

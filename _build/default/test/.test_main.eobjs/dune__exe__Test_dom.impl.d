@@ -1,0 +1,1 @@
+test/test_dom.ml: Alcotest Dom Dom_event List Option Qname String Xmlb

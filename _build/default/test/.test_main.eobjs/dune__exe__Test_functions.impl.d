@@ -1,0 +1,1 @@
+test/test_functions.ml: Alcotest Engine Xdm_item Xq_error Xquery

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Appserver Dom Http_sim List Minijs Option Scenarios Str String Virtual_clock Web_service Xdm_item Xmlb Xqib Xquery

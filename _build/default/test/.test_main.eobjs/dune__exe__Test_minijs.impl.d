@@ -1,0 +1,1 @@
+test/test_minijs.ml: Alcotest Dom List Minijs Option Virtual_clock Xmlb Xqib

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Appserver Dom Engine Functions Http_sim List Minijs Option Printf Str String Style_util Virtual_clock Xdm_item Xmlb Xq_error Xqib Xquery

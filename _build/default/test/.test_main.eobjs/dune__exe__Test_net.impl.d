@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Doc_store Dom Engine Http_sim List Rest String Virtual_clock Web_service Xdm_datetime Xdm_item Xq_error Xquery

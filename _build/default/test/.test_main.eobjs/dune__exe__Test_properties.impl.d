@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Char Dom Fun List Minijs Printf QCheck QCheck_alcotest Qname String Xdm_atomic Xdm_datetime Xdm_duration Xdm_item Xml_escape Xml_parser Xml_serializer Xmlb Xquery

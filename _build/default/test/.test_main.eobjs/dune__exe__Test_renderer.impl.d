@@ -1,0 +1,1 @@
+test/test_renderer.ml: Alcotest Dom List Option Printf String Xqib

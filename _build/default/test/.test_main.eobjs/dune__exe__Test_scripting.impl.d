@@ -1,0 +1,1 @@
+test/test_scripting.ml: Alcotest Ast Engine Optimizer Parser Xdm_atomic Xdm_item Xmlb Xq_error Xquery

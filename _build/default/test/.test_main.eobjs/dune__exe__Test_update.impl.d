@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Engine Printf Xdm_item Xq_error Xquery

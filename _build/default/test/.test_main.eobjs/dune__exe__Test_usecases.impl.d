@@ -1,0 +1,1 @@
+test/test_usecases.ml: Alcotest Engine Printf Xdm_item Xquery

@@ -1,0 +1,1 @@
+test/test_windows.ml: Alcotest Dom Http_sim List Option Xdm_item Xmlb Xqib

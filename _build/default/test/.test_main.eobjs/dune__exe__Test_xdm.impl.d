@@ -1,0 +1,1 @@
+test/test_xdm.ml: Alcotest Dom Float List Xdm_atomic Xdm_datetime Xdm_duration Xdm_item Xmlb

@@ -1,0 +1,1 @@
+test/test_xmlb.ml: Alcotest Dom List Option Qname Str String Xdm_item Xml_escape Xml_parser Xml_serializer Xmlb Xquery

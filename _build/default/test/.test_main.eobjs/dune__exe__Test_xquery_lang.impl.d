@@ -1,0 +1,1 @@
+test/test_xquery_lang.ml: Alcotest Engine Lexer List Xdm_atomic Xdm_item Xq_error Xquery

@@ -1,0 +1,234 @@
+(* The application server stack: micro-SQL, JSP-style templating (the
+   §6.3 baseline), XQuery server pages, and the §6.1 migration tool. *)
+
+module AS = Appserver.App_server
+module B = Xqib.Browser
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+let () = Minijs.Js_interp.install ()
+
+let sample_db () =
+  let db = Appserver.Sql_lite.create () in
+  Appserver.Sql_lite.create_table db ~name:"PRODUCTS" ~columns:[ "NAME"; "PRICE" ];
+  Appserver.Sql_lite.insert_row db ~table:"PRODUCTS"
+    [ Appserver.Sql_lite.Text "laptop"; Appserver.Sql_lite.Int 999 ];
+  Appserver.Sql_lite.insert_row db ~table:"PRODUCTS"
+    [ Appserver.Sql_lite.Text "mouse"; Appserver.Sql_lite.Int 19 ];
+  Appserver.Sql_lite.insert_row db ~table:"PRODUCTS"
+    [ Appserver.Sql_lite.Text "keyboard"; Appserver.Sql_lite.Int 49 ];
+  db
+
+let sql_tests =
+  let open Appserver.Sql_lite in
+  [
+    t "select star" (fun () ->
+        check Alcotest.int "3 rows" 3 (List.length (query (sample_db ()) "SELECT * FROM PRODUCTS")));
+    t "projection" (fun () ->
+        match query (sample_db ()) "SELECT NAME FROM PRODUCTS" with
+        | [ ("NAME", Text "laptop") ] :: _ -> ()
+        | _ -> Alcotest.fail "bad projection");
+    t "where equality" (fun () ->
+        check Alcotest.int "1 row" 1
+          (List.length (query (sample_db ()) "SELECT * FROM PRODUCTS WHERE NAME = 'mouse'")));
+    t "where comparison" (fun () ->
+        check Alcotest.int "cheap" 2
+          (List.length (query (sample_db ()) "SELECT * FROM PRODUCTS WHERE PRICE < 100")));
+    t "where conjunction" (fun () ->
+        check Alcotest.int "one" 1
+          (List.length
+             (query (sample_db ()) "SELECT * FROM PRODUCTS WHERE PRICE < 100 AND NAME = 'mouse'")));
+    t "order by" (fun () ->
+        match query (sample_db ()) "SELECT NAME FROM PRODUCTS ORDER BY PRICE" with
+        | [ ("NAME", Text "mouse") ] :: _ -> ()
+        | _ -> Alcotest.fail "expected mouse first");
+    t "order by desc" (fun () ->
+        match query (sample_db ()) "SELECT NAME FROM PRODUCTS ORDER BY PRICE DESC" with
+        | [ ("NAME", Text "laptop") ] :: _ -> ()
+        | _ -> Alcotest.fail "expected laptop first");
+    t "insert statement" (fun () ->
+        let db = sample_db () in
+        ignore (query db "INSERT INTO PRODUCTS VALUES ('pen', 2)");
+        check Alcotest.int "4 rows" 4 (row_count db ~table:"PRODUCTS"));
+    t "case-insensitive table names" (fun () ->
+        check Alcotest.int "3" 3 (List.length (query (sample_db ()) "select * from products")));
+    t "unknown table errors" (fun () ->
+        match query (sample_db ()) "SELECT * FROM NOPE" with
+        | exception Sql_error _ -> ()
+        | _ -> Alcotest.fail "expected Sql_error");
+    t "unknown column errors" (fun () ->
+        match query (sample_db ()) "SELECT ZZZ FROM PRODUCTS" with
+        | exception Sql_error _ -> ()
+        | _ -> Alcotest.fail "expected Sql_error");
+  ]
+
+let jsp_tests =
+  [
+    t "plain template passes through" (fun () ->
+        let j = Appserver.Jsp_sim.create () in
+        check Alcotest.string "static" "<p>hi</p>" (Appserver.Jsp_sim.render j "<p>hi</p>"));
+    t "expression segments" (fun () ->
+        let j = Appserver.Jsp_sim.create () in
+        check Alcotest.string "expr" "v=7" (Appserver.Jsp_sim.render j "v=<%= 3 + 4 %>"));
+    t "scriptlet with out.println" (fun () ->
+        let j = Appserver.Jsp_sim.create () in
+        check Alcotest.string "println" "x\n"
+          (Appserver.Jsp_sim.render j "<% out.println('x'); %>"));
+    t "scriptlets share state across segments" (fun () ->
+        let j = Appserver.Jsp_sim.create () in
+        check Alcotest.string "shared" "10"
+          (Appserver.Jsp_sim.render j "<% var n = 10; %><%= n %>"));
+    t "paper-style ResultSet loop over SQL" (fun () ->
+        let j = Appserver.Jsp_sim.create ~db:(sample_db ()) () in
+        let page =
+          "<% var results = statement.executeQuery(\"SELECT * FROM PRODUCTS\");\n\
+           while (results.next()) {\n\
+             out.println(\"<div>\");\n\
+             var prodName = results.getString(1);\n\
+             out.println(prodName);\n\
+             out.println(\"</div>\");\n\
+           }\n\
+           results.close(); %>"
+        in
+        let html = Appserver.Jsp_sim.render j page in
+        check Alcotest.bool "has laptop" true
+          (Str.string_match (Str.regexp ".*laptop.*") (String.map (function '\n' -> ' ' | c -> c) html) 0));
+    t "sql.query array form" (fun () ->
+        let j = Appserver.Jsp_sim.create ~db:(sample_db ()) () in
+        check Alcotest.string "count" "3"
+          (Appserver.Jsp_sim.render j "<%= sql.query('SELECT * FROM PRODUCTS').length %>"));
+    t "render over http counts renders" (fun () ->
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let j = Appserver.Jsp_sim.create () in
+        Appserver.Jsp_sim.register_page j http ~host:"jsp" ~path:"/p" "static";
+        ignore (Http_sim.fetch http "http://jsp/p");
+        ignore (Http_sim.fetch http "http://jsp/p");
+        check Alcotest.int "renders" 2 (Appserver.Jsp_sim.render_count j));
+    t "unterminated scriptlet errors" (fun () ->
+        let j = Appserver.Jsp_sim.create () in
+        match Appserver.Jsp_sim.render j "<% var x = 1;" with
+        | exception Appserver.Jsp_sim.Render_error _ -> ()
+        | _ -> Alcotest.fail "expected Render_error");
+  ]
+
+let xquery_server_tests =
+  [
+    t "server renders an xquery page against the store" (fun () ->
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let srv = AS.create http ~host:"pub" in
+        Doc_store.put_xml (AS.store srv) ~name:"products.xml"
+          "<products><product><name>laptop</name></product></products>";
+        AS.add_xquery_page srv ~path:"/list"
+          "<ul>{ for $p in doc('products.xml')//product return <li>{string($p/name)}</li> }</ul>";
+        let r = Http_sim.fetch http "http://pub/list" in
+        check Alcotest.string "rendered" "<ul><li>laptop</li></ul>" r.Http_sim.body;
+        check Alcotest.int "one evaluation" 1 (AS.evaluations srv));
+    t "each request re-evaluates" (fun () ->
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let srv = AS.create http ~host:"pub" in
+        AS.add_xquery_page srv ~path:"/p" "<x/>";
+        ignore (Http_sim.fetch http "http://pub/p");
+        ignore (Http_sim.fetch http "http://pub/p");
+        ignore (Http_sim.fetch http "http://pub/p");
+        check Alcotest.int "three evals" 3 (AS.evaluations srv));
+    t "docs served next to pages" (fun () ->
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let srv = AS.create http ~host:"pub" in
+        Doc_store.put_xml (AS.store srv) ~name:"d.xml" "<d/>";
+        AS.add_xquery_page srv ~path:"/p" "<x/>";
+        check Alcotest.string "doc" "<d/>" (Http_sim.fetch http "http://pub/docs/d.xml").Http_sim.body;
+        check Alcotest.string "page" "<x/>" (Http_sim.fetch http "http://pub/p").Http_sim.body);
+    t "library modules served as application/xquery" (fun () ->
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let srv = AS.create http ~host:"pub" in
+        AS.add_module srv ~path:"/lib.xq"
+          "module namespace m = 'urn:m'; declare function m:one() { 1 };";
+        let r = Http_sim.fetch http "http://pub/lib.xq" in
+        check Alcotest.string "content type" "application/xquery" r.Http_sim.content_type);
+  ]
+
+let server_page =
+  {|
+declare updating function local:buy($evt, $obj) {
+  insert node <p>{string($obj/@id)}</p> as first into //div[@id="shoppingcart"]
+};
+<html><head><title>Shop</title></head><body>
+<div>Shopping cart</div>
+<div id="shoppingcart"/>
+<div>{
+  for $p in doc("products.xml")//product
+  return <div>{$p/name/text()}<input type='button' value='Buy' id='{$p/name}'/></div>
+}</div>
+{ on event "onclick" at //input attach listener local:buy }
+</body></html>|}
+
+let setup_shop () =
+  let clock = Virtual_clock.create () in
+  let http = Http_sim.create clock in
+  let srv = AS.create http ~host:"shop" in
+  Doc_store.put_xml (AS.store srv) ~name:"products.xml"
+    "<products><product><name>laptop</name></product><product><name>mouse</name></product></products>";
+  AS.add_xquery_page srv ~path:"/shop" server_page;
+  (clock, http, srv)
+
+let migration_tests =
+  [
+    t "migrated page contains script and slots" (fun () ->
+        let _, _, srv = setup_shop () in
+        let client = Appserver.Migration.migrate_server_page srv ~path:"/shop" ~client_path:"/shop2" in
+        check Alcotest.bool "script tag" true
+          (Str.string_match (Str.regexp ".*text/xqueryp.*") (String.map (function '\n' -> ' ' | c -> c) client) 0);
+        check Alcotest.bool "slot" true
+          (Str.string_match (Str.regexp ".*xqib-slot-1.*") (String.map (function '\n' -> ' ' | c -> c) client) 0));
+    t "migrated page rewrites doc() to rest:get" (fun () ->
+        let _, _, srv = setup_shop () in
+        let client = Appserver.Migration.migrate_server_page srv ~path:"/shop" ~client_path:"/shop2" in
+        let flat = String.map (function '\n' -> ' ' | c -> c) client in
+        check Alcotest.bool "rest:get" true
+          (Str.string_match (Str.regexp ".*rest:get('http://shop/docs/products.xml').*") flat 0);
+        check Alcotest.bool "no fn:doc left" false
+          (Str.string_match (Str.regexp ".*doc(\"products.*") flat 0));
+    t "client loads migrated page and builds the product list" (fun () ->
+        let clock, http, srv = setup_shop () in
+        ignore (Appserver.Migration.migrate_server_page srv ~path:"/shop" ~client_path:"/shop2");
+        let b = B.create ~clock ~http () in
+        Xqib.Page.browse b "http://shop/shop2";
+        B.run b;
+        let doc = B.document b in
+        check Alcotest.int "two products" 2
+          (List.length (Dom.get_elements_by_local_name doc "input"));
+        (* zero server-side evaluations: all work moved to the client *)
+        check Alcotest.int "no server evals" 0 (AS.evaluations srv));
+    t "migrated page is interactive (the cart works)" (fun () ->
+        let clock, http, srv = setup_shop () in
+        ignore (Appserver.Migration.migrate_server_page srv ~path:"/shop" ~client_path:"/shop2");
+        let b = B.create ~clock ~http () in
+        Xqib.Page.browse b "http://shop/shop2";
+        B.run b;
+        let doc = B.document b in
+        (match Dom.get_elements_by_local_name doc "input" with
+        | first :: _ -> B.click b first
+        | [] -> Alcotest.fail "no inputs");
+        let cart = Option.get (Dom.get_element_by_id doc "shoppingcart") in
+        check Alcotest.string "cart has item" "laptop" (Dom.string_value cart));
+    t "client caching collapses repeat document fetches (Fig. 2)" (fun () ->
+        let clock, http, srv = setup_shop () in
+        ignore (Appserver.Migration.migrate_server_page srv ~path:"/shop" ~client_path:"/shop2");
+        let b = B.create ~cache:true ~clock ~http () in
+        Xqib.Page.browse b "http://shop/shop2";
+        B.run b;
+        Http_sim.reset_stats http;
+        (* further client-side queries over the same document *)
+        for _ = 1 to 5 do
+          ignore
+            (Xqib.Page.run_xquery b b.B.top_window
+               "count(rest:get('http://shop/docs/products.xml')//product)")
+        done;
+        check Alcotest.int "zero network requests" 0 (Http_sim.total_requests http));
+    t "migration of a non-element page fails cleanly" (fun () ->
+        match Appserver.Migration.migrate ~doc_base:"http://x/docs/" "1 + 1" with
+        | exception Xquery.Xq_error.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+  ]
+
+let suite = sql_tests @ jsp_tests @ xquery_server_tests @ migration_tests

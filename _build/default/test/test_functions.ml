@@ -1,0 +1,227 @@
+(* The fn: built-in function library. *)
+
+open Xquery
+module I = Xdm_item
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+let run_str src = I.to_display_string (Engine.eval_string src)
+let eq name expected src = t name (fun () -> check Alcotest.string src expected (run_str src))
+
+let expect_error code src =
+  match Engine.eval_string src with
+  | exception Xq_error.Error e -> check Alcotest.string src code e.Xq_error.code
+  | r -> Alcotest.failf "%s: expected %s, got %s" src code (I.to_display_string r)
+
+let string_tests =
+  [
+    eq "concat" "abc" "concat('a', 'b', 'c')";
+    eq "concat coerces" "x1" "concat('x', 1)";
+    eq "concat variadic" "abcd" "concat('a','b','c','d')";
+    eq "string-join" "a-b" "string-join(('a','b'), '-')";
+    eq "string-join empty" "" "string-join((), ',')";
+    eq "substring from" "world" "substring('Hello world', 7)";
+    eq "substring with length" "ell" "substring('Hello', 2, 3)";
+    eq "substring fractional start rounds" "234" "substring('12345', 1.5, 2.6)";
+    eq "substring beyond end" "" "substring('ab', 5)";
+    eq "string-length" "5" "string-length('Hello')";
+    eq "string-length of empty seq" "0" "string-length(())";
+    eq "string-length counts code points" "3" "string-length('a&#x20AC;b')";
+    eq "normalize-space" "a b c" "normalize-space('  a   b&#x9;c  ')";
+    eq "upper-case" "ABC" "upper-case('aBc')";
+    eq "lower-case" "abc" "lower-case('AbC')";
+    eq "translate" "ABr" "translate('bar','ab','BA')";
+    eq "translate removal" "AAA" "translate('A-A-A', '-', '')";
+    eq "contains" "true" "contains('XQuery in the browser', 'browser')";
+    eq "contains empty needle" "true" "contains('x', '')";
+    eq "contains false" "false" "contains('abc', 'z')";
+    eq "starts-with" "true" "starts-with('hello', 'he')";
+    eq "ends-with" "true" "ends-with('hello', 'lo')";
+    eq "substring-before" "he" "substring-before('hello', 'llo')";
+    eq "substring-before absent" "" "substring-before('hello', 'z')";
+    eq "substring-after" "llo" "substring-after('hello', 'he')";
+    eq "compare" "-1" "compare('a', 'b')";
+    eq "matches" "true" "matches('abc123', '[0-9]+')";
+    eq "matches anchored" "false" "matches('abc', '^x')";
+    eq "matches case-insensitive flag" "true" "matches('ABC', 'abc', 'i')";
+    eq "replace" "a-c" "replace('abc', 'b', '-')";
+    eq "replace with group" "[ab]" "replace('ab', '(a)(b)', '[$1$2]')";
+    eq "tokenize" "a b c" "string-join(tokenize('a,b,c', ','), ' ')";
+    eq "tokenize on whitespace class" "3" "count(tokenize('1 2  3', '\\s+'))";
+    eq "codepoints-to-string" "AB" "codepoints-to-string((65, 66))";
+    eq "string-to-codepoints" "65 66" "string-join(for $c in string-to-codepoints('AB') return string($c), ' ')";
+    eq "encode-for-uri" "a%20b%2Fc" "encode-for-uri('a b/c')";
+  ]
+
+let numeric_tests =
+  [
+    eq "abs" "3" "abs(-3)";
+    eq "abs decimal" "1.5" "abs(-1.5)";
+    eq "ceiling" "2" "ceiling(1.1)";
+    eq "floor" "1" "floor(1.9)";
+    eq "round half up" "2" "round(1.5)";
+    eq "round negative half" "-1" "round(-1.5)";
+    eq "round-half-to-even" "2" "round-half-to-even(1.5)";
+    eq "round-half-to-even down" "2" "round-half-to-even(2.5)";
+    eq "round-half-to-even precision" "1.57" "string(round-half-to-even(1.5678, 2))";
+    eq "number of string" "42" "number('42')";
+    eq "number NaN" "NaN" "string(number('x'))";
+    eq "numeric empty args propagate" "" "abs(())";
+  ]
+
+let boolean_tests =
+  [
+    eq "true/false" "true false" "(true(), false())";
+    eq "not" "false" "not(1 = 1)";
+    eq "not of empty" "true" "not(())";
+    eq "boolean of string" "true" "boolean('x')";
+    eq "boolean of zero" "false" "boolean(0)";
+  ]
+
+let sequence_tests =
+  [
+    eq "empty/exists" "true false false true"
+      "(empty(()), empty((1)), exists(()), exists((1)))";
+    eq "count" "3" "count((1, 2, 3))";
+    eq "count empty" "0" "count(())";
+    eq "head tail" "1 2 3" "(head((1,2,3)), tail((1,2,3)))";
+    eq "reverse" "3 2 1" "reverse((1, 2, 3))";
+    eq "insert-before middle" "1 9 2" "insert-before((1, 2), 2, 9)";
+    eq "insert-before clamps" "9 1" "insert-before((1), 0, 9)";
+    eq "insert-before past end appends" "1 9" "insert-before((1), 5, 9)";
+    eq "remove" "1 3" "remove((1, 2, 3), 2)";
+    eq "remove out of range" "1 2" "remove((1, 2), 7)";
+    eq "subsequence" "2 3" "subsequence((1,2,3,4), 2, 2)";
+    eq "subsequence to end" "3 4" "subsequence((1,2,3,4), 3)";
+    eq "distinct-values" "1 2 3" "distinct-values((1, 2, 1, 3, 2))";
+    eq "distinct-values mixed numeric" "1" "string(count(distinct-values((1, 1.0))))";
+    eq "index-of" "2 4" "index-of((10, 20, 30, 20), 20)";
+    eq "index-of absent" "" "index-of((1, 2), 9)";
+    eq "deep-equal atoms" "true" "deep-equal((1, 'a'), (1, 'a'))";
+    eq "deep-equal nodes" "true" "deep-equal(<a x='1'><b/></a>, <a x='1'><b/></a>)";
+    eq "deep-equal attr order irrelevant" "true"
+      "deep-equal(<a x='1' y='2'/>, <a y='2' x='1'/>)";
+    eq "deep-equal differs" "false" "deep-equal(<a/>, <b/>)";
+    eq "zero-or-one ok" "1" "zero-or-one((1))";
+    eq "exactly-one ok" "1" "exactly-one((1))";
+    t "zero-or-one fails" (fun () -> expect_error "FORG0003" "zero-or-one((1,2))");
+    t "one-or-more fails" (fun () -> expect_error "FORG0004" "one-or-more(())");
+    t "exactly-one fails" (fun () -> expect_error "FORG0005" "exactly-one(())");
+    eq "unordered passthrough" "3" "count(unordered((1,2,3)))";
+  ]
+
+let aggregate_tests =
+  [
+    eq "sum" "6" "sum((1, 2, 3))";
+    eq "sum empty is zero" "0" "sum(())";
+    eq "sum with zero value" "0" "sum((), 0)";
+    eq "sum over untyped" "3" "sum((<a>1</a>, <a>2</a>))";
+    eq "avg" "2" "avg((1, 2, 3))";
+    eq "avg empty" "" "avg(())";
+    eq "avg decimal result" "1.5" "avg((1, 2))";
+    eq "max" "3" "max((1, 3, 2))";
+    eq "min" "1" "min((3, 1, 2))";
+    eq "max strings" "c" "max(('a', 'c', 'b'))";
+    eq "max untyped numeric" "10" "max((<a>9</a>, <a>10</a>))";
+    eq "count of flwor" "2" "count(for $x in (1,2) return <a/>)";
+  ]
+
+let node_tests =
+  [
+    eq "name" "book" "name(<book/>)";
+    eq "name of attribute" "id" "let $e := <a id='1'/> return name($e/@id)";
+    eq "local-name with prefix" "x" "declare namespace p='u'; local-name(<p:x/>)";
+    eq "namespace-uri" "u" "declare namespace p='u'; namespace-uri(<p:x/>)";
+    eq "namespace-uri empty for plain" "" "namespace-uri(<x/>)";
+    eq "node-name returns qname" "a" "string(node-name(<a/>))";
+    eq "root" "r" "let $d := <r><a><b/></a></r> return name(root($d//b))";
+    eq "position in predicate" "b" "name((<a/>, <b/>)[position() = 2])";
+    eq "last" "c" "name((<a/>, <b/>, <c/>)[last()])";
+    eq "fn:id finds element" "target"
+      "let $d := <r><x id='k'>target</x></r> return string(id('k', $d))";
+    eq "data" "1 2" "data((<a>1</a>, <a>2</a>))";
+    eq "string of node" "txt" "string(<a>txt</a>)";
+    eq "string contextless arg" "5" "string(5)";
+    eq "trace passes value" "7" "trace(7, 'dbg')";
+  ]
+
+let qname_datetime_tests =
+  [
+    eq "QName" "true" "QName('urn:x', 'p:loc') = QName('urn:x', 'q:loc')";
+    eq "local-name-from-QName" "loc" "local-name-from-QName(QName('u', 'p:loc'))";
+    eq "namespace-uri-from-QName" "u" "namespace-uri-from-QName(QName('u', 'loc'))";
+    eq "current-date deterministic" "2008-06-09Z" "string(current-date())";
+    eq "current-dateTime deterministic" "2008-06-09T12:00:00Z" "string(current-dateTime())";
+    eq "year-from-date" "2008" "year-from-date(xs:date('2008-06-09'))";
+    eq "month-from-date" "6" "month-from-date(xs:date('2008-06-09'))";
+    eq "day-from-date" "9" "day-from-date(xs:date('2008-06-09'))";
+    eq "hours-from-dateTime" "14" "hours-from-dateTime(xs:dateTime('2008-06-09T14:30:05'))";
+    eq "minutes-from-time" "30" "minutes-from-time(xs:time('14:30:05'))";
+    eq "seconds-from-dateTime" "5" "seconds-from-dateTime(xs:dateTime('2008-06-09T14:30:05'))";
+    eq "years-from-duration" "1" "years-from-duration(xs:yearMonthDuration('P1Y6M'))";
+    eq "months-from-duration" "6" "months-from-duration(xs:yearMonthDuration('P1Y6M'))";
+    eq "days-from-duration" "2" "days-from-duration(xs:dayTimeDuration('P2DT5H'))";
+    eq "hours-from-duration" "5" "hours-from-duration(xs:dayTimeDuration('P2DT5H'))";
+    eq "date arithmetic in query" "2008-06-12"
+      "string(xs:date('2008-06-09') + xs:dayTimeDuration('P3D'))";
+    eq "dateTime comparison" "true"
+      "xs:dateTime('2008-06-09T12:00:00Z') lt xs:dateTime('2008-06-09T13:00:00Z')";
+  ]
+
+let timezone_tests =
+  [
+    eq "fn:dateTime combines date and time" "2008-06-09T14:30:00"
+      "string(dateTime(xs:date('2008-06-09'), xs:time('14:30:00')))";
+    eq "fn:dateTime keeps the date's timezone" "2008-06-09T10:00:00Z"
+      "string(dateTime(xs:date('2008-06-09Z'), xs:time('10:00:00')))";
+    eq "fn:dateTime empty propagates" "0" "count(dateTime((), xs:time('10:00:00')))";
+    eq "timezone-from-dateTime" "PT2H"
+      "string(timezone-from-dateTime(xs:dateTime('2008-06-09T10:00:00+02:00')))";
+    eq "timezone-from-date absent" "0"
+      "count(timezone-from-date(xs:date('2008-06-09')))";
+    eq "implicit-timezone is UTC" "PT0S" "string(implicit-timezone())";
+    eq "adjust-dateTime-to-timezone shifts the clock" "2008-06-09T12:00:00+02:00"
+      "string(adjust-dateTime-to-timezone(xs:dateTime('2008-06-09T10:00:00Z'), xs:dayTimeDuration('PT2H')))";
+    eq "adjust to empty strips the timezone" "2008-06-09T10:00:00"
+      "string(adjust-dateTime-to-timezone(xs:dateTime('2008-06-09T10:00:00Z'), ()))";
+    eq "adjust naive dateTime attaches the timezone" "2008-06-09T10:00:00+01:00"
+      "string(adjust-dateTime-to-timezone(xs:dateTime('2008-06-09T10:00:00'), xs:dayTimeDuration('PT1H')))";
+    eq "adjust-time-to-timezone" "09:30:00-03:00"
+      "string(adjust-time-to-timezone(xs:time('12:30:00Z'), xs:dayTimeDuration('-PT3H')))";
+  ]
+
+let uri_misc_tests =
+  [
+    eq "prefix-from-QName" "p" "prefix-from-QName(QName('u', 'p:x'))";
+    eq "prefix-from-QName without prefix" "0" "count(prefix-from-QName(QName('u', 'x')))";
+    eq "resolve-uri absolute passthrough" "http://a/b"
+      "string(resolve-uri('http://a/b', 'http://base/x'))";
+    eq "resolve-uri path-relative" "http://base/dir/doc.xml"
+      "string(resolve-uri('doc.xml', 'http://base/dir/page.html'))";
+    eq "resolve-uri authority-relative" "http://base/abs"
+      "string(resolve-uri('/abs', 'http://base/dir/page.html'))";
+    eq "fn:lang matches exactly" "true"
+      "let $d := <p xml:lang='en'><q/></p> return lang('en', ($d//q)[1])";
+    eq "fn:lang matches a sublanguage" "true"
+      "let $d := <p xml:lang='en-US'/> return lang('en', $d)";
+    eq "fn:lang rejects others" "false"
+      "let $d := <p xml:lang='de'/> return lang('en', $d)";
+    eq "nilled is false on elements" "false" "nilled(<a/>)";
+    eq "nilled empty on non-elements" "0" "count(nilled(<a>t</a>/text()))";
+  ]
+
+let error_doc_tests =
+  [
+    t "fn:error default" (fun () -> expect_error "FOER0000" "error()");
+    t "fn:error custom" (fun () ->
+        expect_error "MYERR" "error(QName('u', 'MYERR'), 'boom')");
+    t "doc unavailable by default" (fun () -> expect_error "FODC0002" "doc('x.xml')");
+    eq "doc-available false" "false" "doc-available('x.xml')";
+    t "unknown function reports arity" (fun () ->
+        expect_error "XPST0017" "string-join('a','b','c')");
+  ]
+
+let suite =
+  string_tests @ numeric_tests @ boolean_tests @ sequence_tests
+  @ aggregate_tests @ node_tests @ qname_datetime_tests @ timezone_tests
+  @ uri_misc_tests @ error_doc_tests

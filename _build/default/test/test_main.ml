@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "xqib"
+    [
+      ("xmlb", Test_xmlb.suite);
+      ("dom", Test_dom.suite);
+      ("xdm", Test_xdm.suite);
+      ("xquery-lang", Test_xquery_lang.suite);
+      ("functions", Test_functions.suite);
+      ("update", Test_update.suite);
+      ("scripting", Test_scripting.suite);
+      ("properties", Test_properties.suite);
+      ("net", Test_net.suite);
+      ("browser", Test_browser.suite);
+      ("windows", Test_windows.suite);
+      ("renderer", Test_renderer.suite);
+      ("minijs", Test_minijs.suite);
+      ("appserver", Test_appserver.suite);
+      ("integration", Test_integration.suite);
+      ("usecases", Test_usecases.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("misc", Test_misc.suite);
+    ]

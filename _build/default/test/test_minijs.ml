@@ -1,0 +1,328 @@
+(* The JavaScript-subset baseline interpreter and its DOM API (§2.1,
+   §2.2), including coexistence with XQuery on one page (§6.2). *)
+
+module J = Minijs.Js_interp
+module B = Xqib.Browser
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+let () = J.install ()
+
+let fresh () =
+  let b = B.create () in
+  Xqib.Page.load b "<html><body/></html>";
+  b
+
+let eval_str b src = J.to_display (J.eval_in_window b b.B.top_window src)
+
+let e name expected src =
+  t name (fun () ->
+      let b = fresh () in
+      check Alcotest.string src expected (eval_str b src))
+
+let language_tests =
+  [
+    e "arithmetic" "7" "1 + 2 * 3";
+    e "string concat with +" "ab1" "'a' + 'b' + 1";
+    e "division is float" "2.5" "5 / 2";
+    e "modulo" "1" "7 % 2";
+    e "comparison" "true" "2 >= 2";
+    e "equality coerces" "true" "1 == '1'";
+    e "strict equality does not" "false" "1 === '1'";
+    e "logical short circuit value" "fallback" "null || 'fallback'";
+    e "ternary" "yes" "1 < 2 ? 'yes' : 'no'";
+    e "unary not" "false" "!1";
+    e "typeof" "number" "typeof 42";
+    e "string methods" "HELLO" "'hello'.toUpperCase()";
+    e "indexOf" "2" "'abcd'.indexOf('c')";
+    e "substring" "ell" "'hello'.substring(1, 4)";
+    e "split and join" "a-b-c" "'a,b,c'.split(',').join('-')";
+    e "array literal and length" "3" "[1,2,3].length";
+    e "array index" "20" "[10,20,30][1]";
+    e "array push" "4" "(function(){ var a = [1,2,3]; a.push(9); return a.length; })()";
+    e "object literal property" "7" "({x: 7}).x";
+    e "Math.floor" "3" "Math.floor(3.9)";
+    e "parseInt" "42" "parseInt('42.9')";
+    e "isNaN" "true" "isNaN(parseFloat('z'))";
+    e "undefined display" "undefined" "undefined";
+  ]
+
+let statement_tests =
+  [
+    t "var, for loop and accumulation" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var total = 0; for (var i = 1; i <= 10; i++) { total += i; }";
+        check Alcotest.string "sum" "55" (eval_str b "total"));
+    t "while with break and continue" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var n = 0; var i = 0;\n\
+           while (true) { i++; if (i % 2 == 0) continue; if (i > 9) break; n += i; }";
+        check Alcotest.string "odd sum" "25" (eval_str b "n"));
+    t "functions and closures" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "function mk(x) { return function(y) { return x + y; }; } var add5 = mk(5);";
+        check Alcotest.string "closure" "12" (eval_str b "add5(7)"));
+    t "recursion" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "function fact(n) { if (n <= 1) return 1; return n * fact(n - 1); }";
+        check Alcotest.string "5!" "120" (eval_str b "fact(5)"));
+    t "for-in over object keys" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var o = {a: 1, b: 2}; var n = 0; for (var k in o) { n += o[k]; }";
+        check Alcotest.string "sum" "3" (eval_str b "n"));
+    t "implicit globals assigned in functions" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window "function f() { leaked = 9; } f();";
+        check Alcotest.string "leaked" "9" (eval_str b "leaked"));
+    t "syntax error raises" (fun () ->
+        let b = fresh () in
+        match J.run_script b b.B.top_window "var = ;" with
+        | exception Minijs.Js_lexer.Js_syntax_error _ -> ()
+        | () -> Alcotest.fail "expected syntax error");
+    t "runtime error raises" (fun () ->
+        let b = fresh () in
+        match J.run_script b b.B.top_window "nosuchfunction();" with
+        | exception J.Js_error _ -> ()
+        | () -> Alcotest.fail "expected Js_error");
+  ]
+
+let dom_tests =
+  [
+    t "getElementById and textContent" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b {|<html><body><div id="d">hello</div></body></html>|};
+        check Alcotest.string "text" "hello"
+          (eval_str b "document.getElementById('d').textContent"));
+    t "createElement / appendChild / setAttribute" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b {|<html><body><div id="d"/></body></html>|};
+        J.run_script b b.B.top_window
+          "var el = document.createElement('span');\n\
+           el.setAttribute('class', 'x');\n\
+           el.appendChild(document.createTextNode('t'));\n\
+           document.getElementById('d').appendChild(el);";
+        let doc = B.document b in
+        let span = List.hd (Dom.get_elements_by_local_name doc "span") in
+        check (Alcotest.option Alcotest.string) "class" (Some "x")
+          (Dom.attribute_local span "class");
+        check Alcotest.string "text" "t" (Dom.string_value span));
+    t "innerHTML set parses markup" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b {|<html><body><div id="d"/></body></html>|};
+        J.run_script b b.B.top_window
+          "document.getElementById('d').innerHTML = '<b>bold</b> text';";
+        let doc = B.document b in
+        check Alcotest.int "b created" 1
+          (List.length (Dom.get_elements_by_local_name doc "b")));
+    t "style object maps to style attribute" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b {|<html><body><div id="d"/></body></html>|};
+        J.run_script b b.B.top_window
+          "document.getElementById('d').style.backgroundColor = 'red';";
+        let d = Option.get (Dom.get_element_by_id (B.document b) "d") in
+        check (Alcotest.option Alcotest.string) "css" (Some "background-color: red")
+          (Dom.attribute_local d "style"));
+    t "getElementsByTagName" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b {|<html><body><p/><p/><div/></body></html>|};
+        check Alcotest.string "2 ps" "2" (eval_str b "document.getElementsByTagName('p').length"));
+    t "parentNode / firstChild navigation" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b {|<html><body><div id="d"><p id="p"/></div></body></html>|};
+        check Alcotest.string "up" "d"
+          (eval_str b "document.getElementById('p').parentNode.id");
+        check Alcotest.string "down" "p"
+          (eval_str b "document.getElementById('d').firstChild.id"));
+    t "removeChild" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b {|<html><body><div id="d"><p/></div></body></html>|};
+        J.run_script b b.B.top_window
+          "var d = document.getElementById('d'); d.removeChild(d.firstChild);";
+        check Alcotest.string "empty" "0" (eval_str b "document.getElementById('d').childNodes.length"));
+    t "document.evaluate runs XPath (§2.2)" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b
+          {|<html><body><div>I love XQuery</div><div>meh</div></body></html>|};
+        J.run_script b b.B.top_window
+          "var r = document.evaluate(\"//div[contains(., 'love')]\", document, null,\n\
+           XPathResult.UNORDERED_NODE_SNAPSHOT_TYPE, null);";
+        check Alcotest.string "snapshotLength" "1" (eval_str b "r.snapshotLength");
+        check Alcotest.string "text" "I love XQuery" (eval_str b "r.snapshotItem(0).textContent"));
+    t "paper §2.2 heart insertion runs verbatim" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b
+          {|<html><head><script type="text/javascript">
+            var allDivs, newElement;
+            allDivs = document.evaluate("//div[contains(., 'love')]",
+              document, null, XPathResult.UNORDERED_NODE_SNAPSHOT_TYPE, null);
+            if (allDivs.snapshotLength > 0) {
+              newElement = document.createElement('img');
+              newElement.src = 'http://img.example/heart.gif';
+              document.body.insertBefore(newElement, document.body.firstChild);
+            }
+          </script></head><body><div>all you need is love</div></body></html>|};
+        let doc = B.document b in
+        match Dom.children (List.hd (Dom.get_elements_by_local_name doc "body")) with
+        | first :: _ ->
+            check Alcotest.string "img first" "img"
+              (Option.get (Dom.name first)).Xmlb.Qname.local
+        | [] -> Alcotest.fail "empty body");
+    t "addEventListener receives event object" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b {|<html><body><button id="b"/></body></html>|};
+        J.run_script b b.B.top_window
+          "var seen = ''; document.getElementById('b').addEventListener('onclick',\n\
+           function(e) { seen = e.type + ':' + e.target.id; }, false);";
+        B.click b (Option.get (Dom.get_element_by_id (B.document b) "b"));
+        check Alcotest.string "event" "onclick:b" (eval_str b "seen"));
+    t "window.status and alert" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window "window.status = 'Welcome'; alert('hey');";
+        check Alcotest.string "status" "Welcome" b.B.top_window.Xqib.Windows.status;
+        check (Alcotest.list Alcotest.string) "alert" [ "hey" ] (B.alerts b));
+    t "setTimeout schedules on the virtual clock" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var fired = false; setTimeout(function() { fired = true; }, 100);";
+        check Alcotest.string "not yet" "false" (eval_str b "fired");
+        B.run b;
+        check Alcotest.string "fired" "true" (eval_str b "fired");
+        check (Alcotest.float 0.001) "0.1s" 0.1 (Virtual_clock.now b.B.clock));
+    t "inline onclick handler in JS" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b
+          {|<html><head><script type="text/javascript">
+            function buy(e) { e.target.setAttribute("bought", "yes"); }
+          </script></head>
+          <body><input type="button" id="i" onclick="buy(event)"/></body></html>|};
+        let input = Option.get (Dom.get_element_by_id (B.document b) "i") in
+        B.click b input;
+        check (Alcotest.option Alcotest.string) "bought" (Some "yes")
+          (Dom.attribute_local input "bought"));
+  ]
+
+let coexistence_tests =
+  [
+    t "JS and XQuery share events and the DOM (§6.2)" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b
+          {|<html><head>
+            <script type="text/javascript">
+              function jsSide(e) { e.target.setAttribute("js", "1"); }
+            </script>
+            <script type="text/javascript">
+              document.getElementById("search").addEventListener("onclick", jsSide, false);
+            </script>
+            <script type="text/xquery">
+              declare updating function local:xqSide($evt, $obj) {
+                insert node attribute xq { "1" } into $obj
+              };
+              on event "onclick" at //button[@id="search"] attach listener local:xqSide
+            </script>
+            </head><body><button id="search"/></body></html>|};
+        let btn = Option.get (Dom.get_element_by_id (B.document b) "search") in
+        B.click b btn;
+        check (Alcotest.option Alcotest.string) "js saw it" (Some "1")
+          (Dom.attribute_local btn "js");
+        check (Alcotest.option Alcotest.string) "xquery saw it" (Some "1")
+          (Dom.attribute_local btn "xq"));
+    t "JS reads what XQuery wrote" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b
+          {|<html><head><script type="text/xquery">
+            insert node <made-by-xquery id="m">payload</made-by-xquery> into //body
+            </script></head><body/></html>|};
+        check Alcotest.string "payload" "payload"
+          (eval_str b "document.getElementById('m').textContent"));
+    t "JS-first execution order (§4.1)" (fun () ->
+        (* JS runs before XQuery even when the XQuery tag comes first *)
+        let b = B.create () in
+        Xqib.Page.load b
+          {|<html><head>
+            <script type="text/xquery">
+              insert node <order v="xq-saw-{count(//marker)}"/> into //body
+            </script>
+            <script type="text/javascript">
+              document.body.appendChild(document.createElement('marker'));
+            </script>
+            </head><body/></html>|};
+        let doc = B.document b in
+        let order = List.hd (Dom.get_elements_by_local_name doc "order") in
+        check (Alcotest.option Alcotest.string) "marker existed before xquery"
+          (Some "xq-saw-1") (Dom.attribute_local order "v"));
+    t "document-order execution option" (fun () ->
+        let b = B.create () in
+        Xqib.Page.load b
+          ~options:{ Xqib.Page.execution_order = `Document_order; run_inline_handlers = true }
+          {|<html><head>
+            <script type="text/xquery">
+              insert node <order v="xq-saw-{count(//marker)}"/> into //body
+            </script>
+            <script type="text/javascript">
+              document.body.appendChild(document.createElement('marker'));
+            </script>
+            </head><body/></html>|};
+        let doc = B.document b in
+        let order = List.hd (Dom.get_elements_by_local_name doc "order") in
+        check (Alcotest.option Alcotest.string) "xquery first this time"
+          (Some "xq-saw-0") (Dom.attribute_local order "v"));
+  ]
+
+let control_flow_tests =
+  [
+    t "throw and catch" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var got = ''; try { throw 'boom'; got = 'no'; } catch (e) { got = 'caught:' + e; }";
+        check Alcotest.string "caught" "caught:boom" (eval_str b "got"));
+    t "finally always runs" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var log = ''; try { log += 'a'; throw 1; } catch (e) { log += 'b'; } finally { log += 'c'; }
+           try { log += 'd'; } finally { log += 'e'; }";
+        check Alcotest.string "order" "abcde" (eval_str b "log"));
+    t "uncaught throw escapes as Js_error-compatible exception" (fun () ->
+        let b = fresh () in
+        match J.run_script b b.B.top_window "throw 'up';" with
+        | exception _ -> ()
+        | () -> Alcotest.fail "expected an exception");
+    t "host errors are catchable" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var got = ''; try { nosuchfunction(); } catch (e) { got = 'handled'; }";
+        check Alcotest.string "handled" "handled" (eval_str b "got"));
+    t "switch selects a case and falls through" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var log = ''; switch (2) { case 1: log += 'a'; case 2: log += 'b'; case 3: log += 'c'; break; default: log += 'd'; }";
+        check Alcotest.string "fallthrough bc" "bc" (eval_str b "log"));
+    t "switch default" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var log = ''; switch (9) { case 1: log += 'a'; break; default: log += 'dflt'; }";
+        check Alcotest.string "default" "dflt" (eval_str b "log"));
+    t "switch uses strict equality" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var log = ''; switch ('1') { case 1: log = 'num'; break; default: log = 'str'; }";
+        check Alcotest.string "strict" "str" (eval_str b "log"));
+    t "do-while runs at least once" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var n = 0; do { n++; } while (false);";
+        check Alcotest.string "once" "1" (eval_str b "n"));
+    t "do-while with break" (fun () ->
+        let b = fresh () in
+        J.run_script b b.B.top_window
+          "var n = 0; do { n++; if (n >= 3) break; } while (true);";
+        check Alcotest.string "three" "3" (eval_str b "n"));
+  ]
+
+let suite =
+  language_tests @ statement_tests @ dom_tests @ coexistence_tests
+  @ control_flow_tests

@@ -1,0 +1,373 @@
+(* Property-based tests (qcheck): invariants of the XML layer, the DOM,
+   the atomic type system, and parse/print round trips. *)
+
+open Xmlb
+module A = Xdm_atomic
+module Q = QCheck
+
+let qt ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (Q.Test.make ~count ~name gen prop)
+
+(* ---------- generators ---------- *)
+
+let name_gen =
+  Q.Gen.(
+    let letter = map (fun i -> Char.chr (Char.code 'a' + i)) (int_bound 25) in
+    map (fun cs -> String.concat "" (List.map (String.make 1) cs)) (list_size (int_range 1 8) letter))
+
+let text_gen =
+  Q.Gen.(
+    let ch =
+      frequency
+        [
+          (20, map (fun i -> Char.chr (Char.code 'a' + i)) (int_bound 25));
+          (3, return ' ');
+          (1, oneofl [ '<'; '>'; '&'; '\''; '"' ]);
+        ]
+    in
+    map (fun cs -> String.concat "" (List.map (String.make 1) cs)) (list_size (int_range 1 20) ch))
+
+(* random XML tree *)
+let rec tree_gen depth =
+  Q.Gen.(
+    if depth <= 0 then map (fun t -> Xml_parser.Text t) text_gen
+    else
+      frequency
+        [
+          (2, map (fun t -> Xml_parser.Text t) text_gen);
+          ( 3,
+            map3
+              (fun name attrs children ->
+                let attrs =
+                  List.mapi
+                    (fun i (n, v) ->
+                      { Xml_parser.name = Qname.make (n ^ string_of_int i); value = v })
+                    attrs
+                in
+                Xml_parser.Element (Qname.make name, attrs, children))
+              name_gen
+              (list_size (int_bound 3) (pair name_gen text_gen))
+              (list_size (int_bound 3) (tree_gen (depth - 1))) );
+        ])
+
+let element_gen =
+  Q.Gen.(
+    map3
+      (fun name attrs children ->
+        let attrs =
+          List.mapi
+            (fun i (n, v) -> { Xml_parser.name = Qname.make (n ^ string_of_int i); value = v })
+            attrs
+        in
+        Xml_parser.Element (Qname.make name, attrs, children))
+      name_gen
+      (list_size (int_bound 3) (pair name_gen text_gen))
+      (list_size (int_bound 4) (tree_gen 2)))
+
+let tree_arbitrary =
+  Q.make ~print:(fun t -> Xml_serializer.to_string t) element_gen
+
+(* merge adjacent text nodes: parsing cannot distinguish "a"+"b" from "ab" *)
+let rec normalize_tree = function
+  | Xml_parser.Element (n, attrs, children) ->
+      let rec merge = function
+        | Xml_parser.Text a :: Xml_parser.Text b :: rest ->
+            merge (Xml_parser.Text (a ^ b) :: rest)
+        | x :: rest -> normalize_tree x :: merge rest
+        | [] -> []
+      in
+      Xml_parser.Element (n, attrs, merge children)
+  | t -> t
+
+let properties_xml =
+  [
+    qt "serialize/parse round trip" tree_arbitrary (fun tree ->
+        let s = Xml_serializer.to_string tree in
+        let reparsed = Xml_parser.parse_root s in
+        normalize_tree reparsed = normalize_tree tree);
+    qt "escape/unescape identity" (Q.make Q.Gen.(string_size (int_bound 40)))
+      (fun s ->
+        (* arbitrary bytes are not valid XML text; restrict to ascii *)
+        let s = String.map (fun c -> if Char.code c < 32 then ' ' else c) s in
+        Xml_escape.unescape (Xml_escape.text s) = s);
+    qt "attribute escape round trip" (Q.make text_gen) (fun s ->
+        Xml_escape.unescape (Xml_escape.attribute s) = s);
+  ]
+
+let properties_dom =
+  let doc_of tree = Dom.of_tree [ tree ] in
+  [
+    qt "clone preserves serialization" tree_arbitrary (fun tree ->
+        let d = doc_of tree in
+        Dom.serialize d = Dom.serialize (Dom.clone d));
+    qt "document order is a total order on descendants" tree_arbitrary
+      (fun tree ->
+        let d = doc_of tree in
+        let ns = Dom.descendants d in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b ->
+                let ab = Dom.compare_order a b and ba = Dom.compare_order b a in
+                (ab = 0) = (ba = 0) && (ab < 0) = (ba > 0))
+              ns)
+          ns);
+    qt "descendants are sorted by compare_order" tree_arbitrary (fun tree ->
+        let d = doc_of tree in
+        let rec sorted = function
+          | a :: (b :: _ as rest) -> Dom.compare_order a b < 0 && sorted rest
+          | _ -> true
+        in
+        sorted (Dom.descendants d));
+    qt "string_value equals concatenated text descendants" tree_arbitrary
+      (fun tree ->
+        let d = doc_of tree in
+        let texts =
+          List.filter_map
+            (fun n -> if Dom.kind n = Dom.Text then Dom.value n else None)
+            (Dom.descendants d)
+        in
+        Dom.string_value d = String.concat "" texts);
+    qt "remove detaches every child" tree_arbitrary (fun tree ->
+        let d = doc_of tree in
+        let root = List.hd (Dom.children d) in
+        List.iter Dom.remove (Dom.children root);
+        Dom.children root = []);
+  ]
+
+let int_gen = Q.Gen.int_range (-1000000) 1000000
+
+let properties_atomic =
+  [
+    qt "integer cast round trips through string" (Q.make int_gen) (fun i ->
+        A.cast ~target:A.T_integer (A.String (A.to_string (A.Integer i))) = A.Integer i);
+    qt "compare_value is antisymmetric on integers"
+      (Q.make Q.Gen.(pair int_gen int_gen))
+      (fun (a, b) ->
+        let c1 = A.compare_value (A.Integer a) (A.Integer b) in
+        let c2 = A.compare_value (A.Integer b) (A.Integer a) in
+        (c1 > 0) = (c2 < 0) && (c1 = 0) = (c2 = 0));
+    qt "add/subtract inverse on integers"
+      (Q.make Q.Gen.(pair int_gen int_gen))
+      (fun (a, b) ->
+        A.subtract (A.add (A.Integer a) (A.Integer b)) (A.Integer b) = A.Integer a);
+    qt "duration string round trip"
+      (Q.make Q.Gen.(pair (int_range (-500) 500) (int_range (-100000) 100000)))
+      (fun (months, secs) ->
+        (* keep signs consistent: mixed-sign durations do not occur in
+           the XDM value space we produce *)
+        let months, secs =
+          if months >= 0 then (months, abs secs) else (months, -abs secs)
+        in
+        let d = Xdm_duration.make ~months ~seconds:(float_of_int secs) () in
+        Xdm_duration.equal d (Xdm_duration.of_string (Xdm_duration.to_string d)));
+    qt "date epoch round trip"
+      (Q.make
+         Q.Gen.(
+           triple (int_range 1900 2100) (int_range 1 12) (int_range 1 28)))
+      (fun (y, m, d) ->
+        let dt = Xdm_datetime.make ~year:y ~month:m ~day:d ~tz_minutes:0 () in
+        let rt = Xdm_datetime.of_epoch_seconds ~tz_minutes:0 (Xdm_datetime.to_epoch_seconds dt) in
+        Xdm_datetime.equal dt rt);
+    qt "date ordering matches epoch ordering"
+      (Q.make
+         Q.Gen.(
+           pair
+             (triple (int_range 1950 2050) (int_range 1 12) (int_range 1 28))
+             (triple (int_range 1950 2050) (int_range 1 12) (int_range 1 28))))
+      (fun ((y1, m1, d1), (y2, m2, d2)) ->
+        let a = Xdm_datetime.make ~year:y1 ~month:m1 ~day:d1 () in
+        let b = Xdm_datetime.make ~year:y2 ~month:m2 ~day:d2 () in
+        compare
+          (Xdm_datetime.to_epoch_seconds a)
+          (Xdm_datetime.to_epoch_seconds b)
+        = Xdm_datetime.compare a b);
+  ]
+
+(* ---------- XQuery printer round trips ---------- *)
+
+let roundtrip_sources =
+  [
+    "1 + 2 * 3";
+    "(1, 2, 3)[2]";
+    "for $x at $i in (1 to 5) where $x mod 2 = 0 order by $x descending return $x + $i";
+    "let $d := <a x=\"1\"><b>t</b></a> return $d//b[1]/text()";
+    "some $x in (1,2) satisfies $x eq 2";
+    "every $x in (1,2) satisfies $x le 2";
+    "typeswitch (5) case $i as xs:integer return $i default return 0";
+    "if (1 < 2) then 'y' else 'n'";
+    "<r a=\"{1+1}\">x{2}</r>";
+    "element foo { attribute a { 1 }, 'txt' }";
+    "'42' cast as xs:integer";
+    "5 castable as xs:double?";
+    "(1,2) instance of xs:integer+";
+    "let $d := <x/> return (insert node <a/> into $d, $d)";
+    "let $d := <x><a/></x> return (delete node $d/a, $d)";
+    "let $d := <v>o</v> return (replace value of node $d with 'n', string($d))";
+    "let $d := <v/> return (rename node $d as 'w', name($d))";
+    "copy $c := <a><b/></a> modify delete node $c/b return count($c/*)";
+    "{ declare variable $x := 1; set $x := $x + 1; $x }";
+    "'dog cat' ftcontains ('dog' with stemming) ftand 'cat'";
+    "-(3) + +4";
+    "(<a/>, <b/>) | <c/>";
+    "count((1 to 10)[. mod 2 = 0])";
+    "concat('a', 'b', 'c')";
+    "declare function local:f($x as xs:integer) as xs:integer { $x * 2 }; local:f(21)";
+    "declare variable $g := 10; $g + 1";
+  ]
+
+let printer_tests =
+  let t name f = Alcotest.test_case name `Quick f in
+  List.mapi
+    (fun i src ->
+      t (Printf.sprintf "print/parse round trip %d" i) (fun () ->
+          let v1 =
+            Xdm_item.to_display_string (Xquery.Engine.eval_string src)
+          in
+          let sctx = Xquery.Engine.default_static () in
+          let prog = Xquery.Parser.parse_program sctx src in
+          let printed = Xquery.Ast_printer.program_to_source prog in
+          let v2 =
+            try Xdm_item.to_display_string (Xquery.Engine.eval_string printed)
+            with Xquery.Xq_error.Error e ->
+              Alcotest.failf "reprinted source failed: %s\n--- printed ---\n%s"
+                (Xquery.Xq_error.to_string e) printed
+          in
+          Alcotest.(check string) ("round trip of " ^ src) v1 v2))
+    roundtrip_sources
+
+(* ---------- random-expression optimizer equivalence ---------- *)
+
+(* generate small pure XQuery expressions as source text *)
+let rec expr_gen depth =
+  Q.Gen.(
+    if depth <= 0 then
+      oneof
+        [
+          map string_of_int (int_range (-20) 20);
+          oneofl [ "1.5"; "0"; "2"; "'a'"; "'xyz'"; "true()"; "false()"; "()" ];
+        ]
+    else
+      frequency
+        [
+          (2, expr_gen 0);
+          ( 2,
+            map2
+              (fun op (a, b) -> Printf.sprintf "(%s %s %s)" a op b)
+              (oneofl [ "+"; "-"; "*" ])
+              (pair (expr_gen (depth - 1)) (expr_gen (depth - 1))) );
+          ( 1,
+            map2
+              (fun op (a, b) -> Printf.sprintf "(%s %s %s)" a op b)
+              (oneofl [ "="; "!="; "<"; "<=" ])
+              (pair (expr_gen 0) (expr_gen 0)) );
+          ( 1,
+            map3
+              (fun c a b -> Printf.sprintf "(if (%s) then %s else %s)" c a b)
+              (expr_gen 0) (expr_gen (depth - 1)) (expr_gen (depth - 1)) );
+          ( 1,
+            map2
+              (fun a b -> Printf.sprintf "(count((%s, %s)) > 0)" a b)
+              (expr_gen 0) (expr_gen 0) );
+          ( 1,
+            map
+              (fun a -> Printf.sprintf "(for $v in (1 to 3) return (%s))" a)
+              (expr_gen (depth - 1)) );
+          (1, map (fun a -> Printf.sprintf "count(//item[%s])" a) (expr_gen 0));
+        ])
+
+let doc_for_props =
+  "<root><item a='1'>x</item><item a='2'>y</item><item>z</item></root>"
+
+let eval_against_doc ~optimize src =
+  let node = Xdm_item.Node (Dom.of_string doc_for_props) in
+  match
+    Xdm_item.to_display_string
+      (Xquery.Engine.eval_string ~optimize ~context_item:node src)
+  with
+  | v -> Ok v
+  | exception Xquery.Xq_error.Error e -> Error e.Xquery.Xq_error.code
+
+let optimizer_properties =
+  [
+    qt ~count:300 "optimizer preserves semantics on random expressions"
+      (Q.make ~print:Fun.id (expr_gen 3))
+      (fun src ->
+        match (eval_against_doc ~optimize:false src, eval_against_doc ~optimize:true src) with
+        | Ok a, Ok b -> a = b
+        | Error a, Error b -> a = b
+        | _ -> false);
+    qt ~count:200 "parse/print/parse is stable on random expressions"
+      (Q.make ~print:Fun.id (expr_gen 3))
+      (fun src ->
+        let sctx = Xquery.Engine.default_static () in
+        let ast = Xquery.Parser.parse_expression sctx src in
+        let printed = Xquery.Ast_printer.expr_to_source ast in
+        match eval_against_doc ~optimize:false printed with
+        | r -> r = eval_against_doc ~optimize:false src
+        | exception _ -> false);
+  ]
+
+(* ---------- fuzz: parsers fail only with their declared errors ---------- *)
+
+let printable_gen =
+  Q.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_bound 60)
+         (frequency
+            [
+              (10, map (fun i -> Char.chr (32 + i)) (int_bound 94));
+              ( 5,
+                oneofl
+                  [ '<'; '>'; '{'; '}'; '('; ')'; '$'; '"'; '\''; '/'; '@'; ':'; ';' ]
+              );
+            ])))
+
+(* bias the fuzz toward near-XQuery shapes *)
+let xqueryish_gen =
+  Q.Gen.(
+    frequency
+      [
+        (3, printable_gen);
+        ( 2,
+          map2
+            (fun a b -> a ^ " " ^ b)
+            (oneofl
+               [
+                 "for $x in"; "let $y :="; "if ("; "insert node"; "<a>"; "</a>";
+                 "declare function"; "on event"; "typeswitch ("; "1 +"; "count(";
+               ])
+            printable_gen );
+      ])
+
+let fuzz_properties =
+  [
+    qt ~count:500 "XQuery parser only raises Xq_error on garbage"
+      (Q.make ~print:Fun.id xqueryish_gen)
+      (fun src ->
+        match
+          Xquery.Parser.parse_program (Xquery.Engine.default_static ()) src
+        with
+        | _ -> true
+        | exception Xquery.Xq_error.Error _ -> true
+        | exception _ -> false);
+    qt ~count:500 "XML parser only raises Parse_error on garbage"
+      (Q.make ~print:Fun.id printable_gen)
+      (fun src ->
+        match Xml_parser.parse src with
+        | _ -> true
+        | exception Xml_parser.Parse_error _ -> true
+        | exception _ -> false);
+    qt ~count:300 "JS parser only raises Js_syntax_error on garbage"
+      (Q.make ~print:Fun.id printable_gen)
+      (fun src ->
+        match Minijs.Js_parser.parse_program src with
+        | _ -> true
+        | exception Minijs.Js_lexer.Js_syntax_error _ -> true
+        | exception _ -> false);
+  ]
+
+let suite =
+  properties_xml @ properties_dom @ properties_atomic @ printer_tests
+  @ optimizer_properties @ fuzz_properties

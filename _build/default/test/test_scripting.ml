@@ -1,0 +1,163 @@
+(* XQuery Scripting Extension: blocks, declare/set, while, exit with,
+   sequential functions, statement-boundary update application (§3.3),
+   plus full text and the optimizer. *)
+
+open Xquery
+module I = Xdm_item
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+let run_str src = I.to_display_string (Engine.eval_string src)
+let eq name expected src = t name (fun () -> check Alcotest.string src expected (run_str src))
+
+let scripting_tests =
+  [
+    eq "block returns last statement" "3" "{ 1; 2; 3 }";
+    eq "declare and read" "5" "{ declare variable $x := 5; $x }";
+    eq "set assigns" "42" "{ declare variable $x := 1; set $x := 42; $x }";
+    eq "assignment sees previous value" "6"
+      "{ declare variable $x := 2; set $x := $x * 3; $x }";
+    eq "uninitialised variable is empty" "0"
+      "{ declare variable $x; count($x) }";
+    eq "while loop" "10"
+      "{ declare variable $i := 0; declare variable $acc := 0; \
+         while ($i lt 4) { set $i := $i + 1; set $acc := $acc + $i }; $acc }";
+    eq "while with false condition never runs" "0"
+      "{ declare variable $n := 0; while (false()) { set $n := 99 }; $n }";
+    eq "nested while" "9"
+      "{ declare variable $c := 0; declare variable $i := 0; \
+         while ($i lt 3) { set $i := $i + 1; declare variable $j := 0; \
+           while ($j lt 3) { set $j := $j + 1; set $c := $c + 1 } }; $c }";
+    eq "statement sees earlier update (paper §3.3)" "1"
+      "{ declare variable $lib := <books/>; \
+         insert node <book title='starwars'/> into $lib; \
+         count($lib/book[@title='starwars']) }";
+    eq "paper block example shape" "6 movies"
+      "{ declare variable $lib := <books/>; \
+         declare variable $b := <book title='starwars'/>; \
+         insert node $b into $lib; \
+         set $b := $lib//book[@title='starwars']; \
+         insert node <comment>6 movies</comment> into $b; \
+         string($lib/book/comment) }";
+    eq "sequential function" "3"
+      "declare sequential function local:f() { declare variable $x := 1; set $x := $x + 2; $x }; \
+       local:f()";
+    eq "exit with returns early" "early"
+      "declare sequential function local:f() { exit with 'early'; 'late' }; local:f()";
+    eq "exit with applies pending updates" "done 1"
+      "declare sequential function local:f($d) { insert node <x/> into $d; exit with 'done'; 'no' }; \
+       { declare variable $d := <r/>; declare variable $r := local:f($d); \
+         concat($r, ' ', count($d/x)) }";
+    eq "block scoping shadows" "inner outer"
+      "{ declare variable $x := 'outer'; \
+         declare variable $r := { declare variable $x := 'inner'; $x }; \
+         concat($r, ' ', $x) }";
+    eq "block keyword form" "2" "block { 1; 2 }";
+    eq "do-prefixed update statement (section 4.4 style)" "new"
+      "{ declare variable $d := <v>old</v>; do replace value of node $d with 'new'; string($d) }";
+    eq "break leaves the loop (paper lists break, section 3.3)" "3"
+      "{ declare variable $i := 0; \
+         while (true()) { set $i := $i + 1; if ($i ge 3) then break else () }; $i }";
+    eq "continue skips the rest of the body" "4"
+      "{ declare variable $i := 0; declare variable $evens := 0; \
+         while ($i lt 8) { set $i := $i + 1; \
+           if ($i mod 2 = 1) then continue else (); \
+           set $evens := $evens + 1 }; $evens }";
+    eq "break only exits the inner loop" "6"
+      "{ declare variable $total := 0; declare variable $i := 0; \
+         while ($i lt 3) { set $i := $i + 1; declare variable $j := 0; \
+           while (true()) { set $j := $j + 1; \
+             if ($j ge 2) then break else (); \
+             () }; \
+           set $total := $total + $j }; $total }";
+    t "break outside a loop is an error" (fun () ->
+        match Engine.eval_string "{ break }" with
+        | exception Xq_error.Error e ->
+            check Alcotest.string "code" "XSST0010" e.Xq_error.code
+        | _ -> Alcotest.fail "expected error");
+    eq "while over dom mutation" "5"
+      "{ declare variable $d := <r/>; declare variable $i := 0; \
+         while (count($d/*) lt 5) { insert node <c/> into $d; set $i := $i + 1 }; $i }";
+  ]
+
+let fulltext_tests =
+  [
+    eq "ftcontains basic" "true" "'XQuery in the browser' ftcontains 'browser'";
+    eq "ftcontains is token-based" "false" "'browsers' ftcontains 'browse'";
+    eq "ftcontains case-insensitive" "true" "'The Dog' ftcontains 'dog'";
+    eq "ftcontains phrase" "true" "'the quick brown fox' ftcontains 'quick brown'";
+    eq "ftcontains phrase order matters" "false" "'the quick brown fox' ftcontains 'brown quick'";
+    eq "ftand" "true" "'cat and dog' ftcontains 'cat' ftand 'dog'";
+    eq "ftand false" "false" "'cat only' ftcontains 'cat' ftand 'dog'";
+    eq "ftor" "true" "'cat only' ftcontains 'cat' ftor 'dog'";
+    eq "ftnot" "true" "'cat only' ftcontains ftnot 'dog'";
+    eq "with stemming" "true" "'the dogs are barking' ftcontains ('dog' with stemming)";
+    eq "stemming both sides" "true" "'stemming' ftcontains ('stems' with stemming)";
+    eq "paper books example" "Y"
+      "let $books := <books>\
+         <book><title>a cat and a dog</title><author>Y</author></book>\
+         <book><title>only cats here</title><author>N</author></book>\
+       </books> \
+       for $b in $books/book \
+       where $b/title ftcontains ('dog' with stemming) ftand 'cat' \
+       return string($b/author)";
+    eq "paper payment example shape" "computer"
+      "let $orders := <paymentorder><paymentorders><name>computer</name><price>999</price></paymentorders></paymentorder> \
+       for $x at $i in $orders/paymentorders \
+       let $price := $x/price \
+       where $x/name ftcontains 'computer' \
+       return string($x/name)";
+    eq "ftcontains over node sequence" "true"
+      "<r><p>alpha</p><p>beta</p></r>/p ftcontains 'beta'";
+  ]
+
+let optimizer_tests =
+  let opt src = Optimizer.optimize_expr (Parser.parse_expression (Engine.default_static ()) src) in
+  [
+    t "constant folding" (fun () ->
+        match opt "1 + 2 * 3" with
+        | Ast.E_literal (Xdm_atomic.Integer 7) -> ()
+        | _ -> Alcotest.fail "expected folded literal 7");
+    t "if with constant condition" (fun () ->
+        match opt "if (true()) then 'a' else 'b'" with
+        | Ast.E_literal (Xdm_atomic.String "a") -> ()
+        | _ -> Alcotest.fail "expected folded branch");
+    t "count(e) = 0 becomes empty(e)" (fun () ->
+        match opt "count($x) = 0" with
+        | Ast.E_call ({ Xmlb.Qname.local = "empty"; _ }, _) -> ()
+        | _ -> Alcotest.fail "expected fn:empty rewrite");
+    t "count(e) > 0 becomes exists(e)" (fun () ->
+        match opt "count($x) > 0" with
+        | Ast.E_call ({ Xmlb.Qname.local = "exists"; _ }, _) -> ()
+        | _ -> Alcotest.fail "expected fn:exists rewrite");
+    t "// rewrite to descendant" (fun () ->
+        match opt "$d//a" with
+        | Ast.E_path (Ast.E_var _, Ast.E_step (Ast.Descendant, Ast.Name_test _, [])) -> ()
+        | _ -> Alcotest.fail "expected descendant step");
+    t "// rewrite blocked by positional predicate" (fun () ->
+        match opt "$d//a[1]" with
+        | Ast.E_path (Ast.E_path (_, Ast.E_step (Ast.Descendant_or_self, _, _)), _) -> ()
+        | _ -> Alcotest.fail "expected original shape");
+    t "true() predicate dropped" (fun () ->
+        match opt "$d/a[true()]" with
+        | Ast.E_path (_, Ast.E_step (Ast.Child, _, [])) -> ()
+        | _ -> Alcotest.fail "expected predicate gone");
+    t "updating node survives; pure subtrees still rewritten" (fun () ->
+        match opt "insert node <a/> into $d/x[true()]" with
+        | Ast.E_insert (_, _, Ast.E_path (_, Ast.E_step (_, _, []))) -> ()
+        | _ -> Alcotest.fail "expected insert with simplified target");
+    t "optimized and unoptimized agree" (fun () ->
+        let src =
+          "let $d := <r><a><b>1</b></a><a><b>2</b></a></r> \
+           return string-join(for $b in $d//b where count($b) > 0 order by $b return string($b), ',')"
+        in
+        let a = I.to_display_string (Engine.eval_string ~optimize:false src) in
+        let b = I.to_display_string (Engine.eval_string ~optimize:true src) in
+        check Alcotest.string "same result" a b);
+    t "rewrite counter advances" (fun () ->
+        let before = Optimizer.rewrite_count () in
+        ignore (opt "1 + 1");
+        check Alcotest.bool "counted" true (Optimizer.rewrite_count () > before));
+  ]
+
+let suite = scripting_tests @ fulltext_tests @ optimizer_tests

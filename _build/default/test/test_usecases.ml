@@ -1,0 +1,169 @@
+(* Realistic workload coverage: the W3C "XML Query Use Cases" XMP
+   queries (the classic bibliography/reviews documents), adapted to run
+   against constructed documents. These exercise FLWOR, joins, grouping
+   by distinct-values, conditionals, constructors and aggregation the
+   way real applications combine them. *)
+
+open Xquery
+module I = Xdm_item
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+
+let bib =
+  {|<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology and Content for Digital TV</title>
+    <editor><last>Gerbarg</last><first>Darcy</first><affiliation>CITI</affiliation></editor>
+    <publisher>Kluwer Academic Publishers</publisher>
+    <price>129.95</price>
+  </book>
+</bib>|}
+
+let reviews =
+  {|<reviews>
+  <entry>
+    <title>Data on the Web</title>
+    <price>34.95</price>
+    <review>A very good discussion of semi-structured database systems and XML.</review>
+  </entry>
+  <entry>
+    <title>Advanced Programming in the Unix environment</title>
+    <price>65.95</price>
+    <review>A clear and detailed discussion of UNIX programming.</review>
+  </entry>
+  <entry>
+    <title>TCP/IP Illustrated</title>
+    <price>65.95</price>
+    <review>One of the best books on TCP/IP.</review>
+  </entry>
+</reviews>|}
+
+(* bind $bib and $reviews, then run *)
+let run query =
+  let src =
+    Printf.sprintf "let $bib := %s let $reviews := %s return (%s)" bib reviews query
+  in
+  I.to_display_string (Engine.eval_string src)
+
+let eq name expected query =
+  t name (fun () -> check Alcotest.string name expected (run query))
+
+let suite =
+  [
+    (* Q1: books published by Addison-Wesley after 1991 *)
+    eq "XMP Q1: AW books after 1991"
+      "<bib><book year=\"1994\"><title>TCP/IP Illustrated</title></book><book year=\"1992\"><title>Advanced Programming in the Unix environment</title></book></bib>"
+      {|<bib>{
+         for $b in $bib/book
+         where $b/publisher = "Addison-Wesley" and $b/@year > 1991
+         return <book year="{$b/@year}">{$b/title}</book>
+       }</bib>|};
+    (* Q2: flat title-author pairs *)
+    eq "XMP Q2: title-author pairs count" "5"
+      {|count(<results>{
+         for $b in $bib/book, $t in $b/title, $a in $b/author
+         return <result>{$t}{$a}</result>
+       }</results>/result)|};
+    (* Q3: titles with all authors *)
+    eq "XMP Q3: titles with authors" "4"
+      {|count(<results>{
+         for $b in $bib/book
+         return <result>{$b/title}{$b/author}</result>
+       }</results>/result)|};
+    (* Q4: books per author (group by distinct author last names) *)
+    eq "XMP Q4: Stevens wrote two books" "2"
+      {|let $a := "Stevens"
+        return count(for $b in $bib/book where $b/author/last = $a return $b)|};
+    eq "XMP Q4: distinct author groups" "4"
+      {|count(
+         for $last in distinct-values($bib/book/author/last)
+         return <author name="{$last}"/>
+       )|};
+    (* Q5: join with reviews on title *)
+    eq "XMP Q5: books with review prices" "3"
+      {|count(<books-with-prices>{
+         for $b in $bib/book, $a in $reviews/entry
+         where $b/title = $a/title
+         return <book-with-prices>{$b/title}
+           <price-review>{data($a/price)}</price-review>
+           <price>{data($b/price)}</price>
+         </book-with-prices>
+       }</books-with-prices>/book-with-prices)|};
+    (* Q6: books with more than one author *)
+    eq "XMP Q6: multi-author books" "Data on the Web"
+      {|string-join(
+         for $b in $bib/book
+         where count($b/author) > 1
+         return string($b/title), ", ")|};
+    (* Q7: AW books sorted by title *)
+    eq "XMP Q7: sorted AW titles"
+      "Advanced Programming in the Unix environment|TCP/IP Illustrated"
+      {|string-join(
+         for $b in $bib/book
+         where $b/publisher = "Addison-Wesley"
+         order by string($b/title)
+         return string($b/title), "|")|};
+    (* Q8: find books mentioning a word in the review (join + contains) *)
+    eq "XMP Q8: reviews mentioning TCP/IP" "TCP/IP Illustrated"
+      {|string-join(
+         for $e in $reviews/entry
+         where contains(string($e/review), "TCP/IP")
+         return string($e/title), ", ")|};
+    (* Q9: titles of books where review price is lower than book price *)
+    eq "XMP Q9: discounted in reviews" "Data on the Web"
+      {|string-join(
+         for $b in $bib/book, $e in $reviews/entry
+         where $b/title = $e/title and number($e/price) < number($b/price)
+         return string($b/title), ", ")|};
+    (* Q10: prices per title (min across sources) *)
+    eq "XMP Q10: minimum price of Data on the Web" "34.95"
+      {|string(min((
+          for $p in ($bib/book[title='Data on the Web']/price,
+                     $reviews/entry[title='Data on the Web']/price)
+          return number($p))))|};
+    (* Q11: books with or without editors: element presence tests *)
+    eq "XMP Q11: books with editor affiliations" "CITI"
+      {|string-join(
+         for $b in $bib/book[editor]
+         return string($b/editor/affiliation), ", ")|};
+    (* Q12: pairs of books with the same authors (self-join) *)
+    eq "XMP Q12: same-author pairs" "1"
+      {|count(
+         for $book1 in $bib/book, $book2 in $bib/book
+         where $book1/author/last = $book2/author/last
+           and $book1/author/first = $book2/author/first
+           and ($book1/title << $book2/title or $book1/title >> $book2/title)
+           and string($book1/title) < string($book2/title)
+         return <pair>{$book1/title}{$book2/title}</pair>)|};
+    (* aggregation sanity over the same data *)
+    eq "aggregate: total book price" "301.8"
+      {|string(sum(for $p in $bib/book/price return number($p)))|};
+    eq "aggregate: average review price" "55.62"
+      {|string(round-half-to-even(avg(for $p in $reviews/entry/price return number($p)), 2))|};
+    eq "conditional inside constructor" "affordable"
+      {|string(<v>{if (number($bib/book[3]/price) < 50) then "affordable" else "pricey"}</v>)|};
+    (* the classic FLWOR-in-attribute pattern *)
+    eq "computed attribute from aggregation" "4"
+      {|string(<bib count="{count($bib/book)}"/>/@count)|};
+  ]

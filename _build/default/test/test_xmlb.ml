@@ -1,0 +1,249 @@
+(* XML infrastructure: QNames, escaping, parser, serializer. *)
+
+open Xmlb
+
+let check = Alcotest.check
+let t name f = Alcotest.test_case name `Quick f
+
+(* ---------- qnames ---------- *)
+
+let qname_tests =
+  [
+    t "of_string splits prefix" (fun () ->
+        let q = Qname.of_string "html:div" in
+        check (Alcotest.option Alcotest.string) "prefix" (Some "html") q.Qname.prefix;
+        check Alcotest.string "local" "div" q.Qname.local);
+    t "of_string bare name" (fun () ->
+        let q = Qname.of_string "div" in
+        check (Alcotest.option Alcotest.string) "prefix" None q.Qname.prefix);
+    t "equality ignores prefix" (fun () ->
+        let a = Qname.make ~uri:"u" ~prefix:"a" "x" in
+        let b = Qname.make ~uri:"u" ~prefix:"b" "x" in
+        check Alcotest.bool "equal" true (Qname.equal a b));
+    t "equality distinguishes uri" (fun () ->
+        let a = Qname.make ~uri:"u1" "x" and b = Qname.make ~uri:"u2" "x" in
+        check Alcotest.bool "not equal" false (Qname.equal a b));
+    t "clark notation" (fun () ->
+        check Alcotest.string "clark" "{u}x" (Qname.to_clark (Qname.make ~uri:"u" "x")));
+    t "env resolve via prefix" (fun () ->
+        let env = Qname.Env.bind Qname.Env.empty ~prefix:"p" ~uri:"urn:p" in
+        let q = Qname.Env.resolve env ~use_default:false (Qname.of_string "p:a") in
+        check (Alcotest.option Alcotest.string) "uri" (Some "urn:p") q.Qname.uri);
+    t "env default namespace applies to elements only" (fun () ->
+        let env = Qname.Env.bind_default Qname.Env.empty ~uri:(Some "urn:d") in
+        let e = Qname.Env.resolve env ~use_default:true (Qname.of_string "a") in
+        let a = Qname.Env.resolve env ~use_default:false (Qname.of_string "a") in
+        check (Alcotest.option Alcotest.string) "element" (Some "urn:d") e.Qname.uri;
+        check (Alcotest.option Alcotest.string) "attr" None a.Qname.uri);
+    t "unbound prefix fails" (fun () ->
+        Alcotest.check_raises "failure" (Failure "XPST0081: unbound prefix \"zz\"")
+          (fun () ->
+            ignore (Qname.Env.resolve Qname.Env.empty ~use_default:false (Qname.of_string "zz:a"))));
+    t "xml prefix predefined" (fun () ->
+        let q = Qname.Env.resolve Qname.Env.empty ~use_default:false (Qname.of_string "xml:lang") in
+        check (Alcotest.option Alcotest.string) "uri" (Some Qname.Ns.xml) q.Qname.uri);
+  ]
+
+(* ---------- escaping ---------- *)
+
+let escape_tests =
+  [
+    t "text escaping" (fun () ->
+        check Alcotest.string "escaped" "a&amp;b&lt;c&gt;d" (Xml_escape.text "a&b<c>d"));
+    t "attribute escaping quotes" (fun () ->
+        check Alcotest.string "escaped" "&quot;x&quot;" (Xml_escape.attribute "\"x\""));
+    t "unescape predefined entities" (fun () ->
+        check Alcotest.string "unescaped" "<a>&'\"" (Xml_escape.unescape "&lt;a&gt;&amp;&apos;&quot;"));
+    t "unescape decimal reference" (fun () ->
+        check Alcotest.string "A" "A" (Xml_escape.unescape "&#65;"));
+    t "unescape hex reference" (fun () ->
+        check Alcotest.string "A" "A" (Xml_escape.unescape "&#x41;"));
+    t "unescape multibyte" (fun () ->
+        check Alcotest.string "euro" "\xE2\x82\xAC" (Xml_escape.unescape "&#x20AC;"));
+    t "unknown entity fails" (fun () ->
+        match Xml_escape.unescape "&bogus;" with
+        | exception Failure _ -> ()
+        | s -> Alcotest.failf "expected failure, got %S" s);
+    t "utf8 round trip" (fun () ->
+        let cps = [ 0x41; 0xE9; 0x20AC; 0x1F600 ] in
+        let s = String.concat "" (List.map Xml_escape.utf8_of_code_point cps) in
+        check (Alcotest.list Alcotest.int) "round trip" cps (Xml_escape.code_points s));
+    t "invalid utf8 detected" (fun () ->
+        match Xml_escape.code_points "\xFF\xFE" with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+  ]
+
+(* ---------- parser ---------- *)
+
+let parse_root = Xml_parser.parse_root
+
+let parser_tests =
+  [
+    t "simple element" (fun () ->
+        match parse_root "<a/>" with
+        | Xml_parser.Element (n, [], []) -> check Alcotest.string "name" "a" n.Qname.local
+        | _ -> Alcotest.fail "bad shape");
+    t "attributes and text" (fun () ->
+        match parse_root "<a x=\"1\" y='2'>hi</a>" with
+        | Xml_parser.Element (_, attrs, [ Xml_parser.Text txt ]) ->
+            check Alcotest.int "attrs" 2 (List.length attrs);
+            check Alcotest.string "text" "hi" txt
+        | _ -> Alcotest.fail "bad shape");
+    t "nested elements" (fun () ->
+        match parse_root "<a><b><c/></b></a>" with
+        | Xml_parser.Element (_, _, [ Xml_parser.Element (_, _, [ Xml_parser.Element (c, _, []) ]) ]) ->
+            check Alcotest.string "c" "c" c.Qname.local
+        | _ -> Alcotest.fail "bad shape");
+    t "entities in text and attributes" (fun () ->
+        match parse_root "<a x=\"&lt;&amp;\">&gt;</a>" with
+        | Xml_parser.Element (_, [ { Xml_parser.value; _ } ], [ Xml_parser.Text txt ]) ->
+            check Alcotest.string "attr" "<&" value;
+            check Alcotest.string "text" ">" txt
+        | _ -> Alcotest.fail "bad shape");
+    t "comment and pi" (fun () ->
+        match parse_root "<a><!--c--><?target data?></a>" with
+        | Xml_parser.Element (_, _, [ Xml_parser.Comment c; Xml_parser.Pi (tg, d) ]) ->
+            check Alcotest.string "comment" "c" c;
+            check Alcotest.string "target" "target" tg;
+            check Alcotest.string "data" "data" d
+        | _ -> Alcotest.fail "bad shape");
+    t "cdata becomes text" (fun () ->
+        match parse_root "<a><![CDATA[<raw>&]]></a>" with
+        | Xml_parser.Element (_, _, [ Xml_parser.Text txt ]) ->
+            check Alcotest.string "cdata" "<raw>&" txt
+        | _ -> Alcotest.fail "bad shape");
+    t "xml declaration and doctype are skipped" (fun () ->
+        match parse_root "<?xml version=\"1.0\"?><!DOCTYPE html><a/>" with
+        | Xml_parser.Element (n, _, _) -> check Alcotest.string "a" "a" n.Qname.local
+        | _ -> Alcotest.fail "bad shape");
+    t "default namespace declaration" (fun () ->
+        match parse_root "<a xmlns=\"urn:x\"><b/></a>" with
+        | Xml_parser.Element (a, _, [ Xml_parser.Element (b, _, _) ]) ->
+            check (Alcotest.option Alcotest.string) "a uri" (Some "urn:x") a.Qname.uri;
+            check (Alcotest.option Alcotest.string) "b uri" (Some "urn:x") b.Qname.uri
+        | _ -> Alcotest.fail "bad shape");
+    t "prefixed namespaces resolve" (fun () ->
+        match parse_root "<p:a xmlns:p=\"urn:p\" p:x=\"1\"/>" with
+        | Xml_parser.Element (a, [ attr ], _) ->
+            check (Alcotest.option Alcotest.string) "el" (Some "urn:p") a.Qname.uri;
+            check (Alcotest.option Alcotest.string) "attr" (Some "urn:p")
+              attr.Xml_parser.name.Qname.uri
+        | _ -> Alcotest.fail "bad shape");
+    t "namespace scoping: inner rebind" (fun () ->
+        match parse_root "<a xmlns:p=\"urn:1\"><p:b xmlns:p=\"urn:2\"/><p:c/></a>" with
+        | Xml_parser.Element (_, _, [ Xml_parser.Element (b, _, _); Xml_parser.Element (c, _, _) ]) ->
+            check (Alcotest.option Alcotest.string) "b" (Some "urn:2") b.Qname.uri;
+            check (Alcotest.option Alcotest.string) "c" (Some "urn:1") c.Qname.uri
+        | _ -> Alcotest.fail "bad shape");
+    t "unclosed element fails" (fun () ->
+        match parse_root "<a><b></a>" with
+        | exception Xml_parser.Parse_error _ -> ()
+        | _ -> Alcotest.fail "expected parse error");
+    t "mismatched close tag fails" (fun () ->
+        match parse_root "<a></b>" with
+        | exception Xml_parser.Parse_error _ -> ()
+        | _ -> Alcotest.fail "expected parse error");
+    t "multiple roots rejected by parse_root" (fun () ->
+        match parse_root "<a/><b/>" with
+        | exception Xml_parser.Parse_error _ -> ()
+        | _ -> Alcotest.fail "expected parse error");
+    t "IE uppercase quirk" (fun () ->
+        let options = { Xml_parser.default_options with Xml_parser.uppercase_tags = true } in
+        match Xml_parser.parse_root ~options "<div><p/></div>" with
+        | Xml_parser.Element (d, _, [ Xml_parser.Element (p, _, _) ]) ->
+            check Alcotest.string "DIV" "DIV" d.Qname.local;
+            check Alcotest.string "P" "P" p.Qname.local
+        | _ -> Alcotest.fail "bad shape");
+    t "script content is raw text" (fun () ->
+        match parse_root "<html><script>if (a < b && c > d) { x(); }</script></html>" with
+        | Xml_parser.Element (_, _, [ Xml_parser.Element (_, _, [ Xml_parser.Text s ]) ]) ->
+            check Alcotest.string "raw" "if (a < b && c > d) { x(); }" s
+        | _ -> Alcotest.fail "bad shape");
+    t "script CDATA markers are stripped" (fun () ->
+        match parse_root "<s><script><![CDATA[1 < 2]]></script></s>" with
+        | Xml_parser.Element (_, _, [ Xml_parser.Element (_, _, [ Xml_parser.Text s ]) ]) ->
+            check Alcotest.string "stripped" "1 < 2" s
+        | _ -> Alcotest.fail "bad shape");
+    t "boolean attribute without value" (fun () ->
+        match parse_root "<input disabled/>" with
+        | Xml_parser.Element (_, [ { Xml_parser.name; value } ], _) ->
+            check Alcotest.string "name" "disabled" name.Qname.local;
+            check Alcotest.string "value" "disabled" value
+        | _ -> Alcotest.fail "bad shape");
+  ]
+
+(* ---------- serializer ---------- *)
+
+let roundtrip src =
+  Xml_serializer.to_string (parse_root src)
+
+let serializer_tests =
+  [
+    t "simple round trip" (fun () ->
+        check Alcotest.string "rt" "<a x=\"1\"><b>hi</b></a>" (roundtrip "<a x=\"1\"><b>hi</b></a>"));
+    t "self-closing normalization" (fun () ->
+        check Alcotest.string "rt" "<a/>" (roundtrip "<a></a>"));
+    t "escapes in output" (fun () ->
+        check Alcotest.string "rt" "<a>&lt;&amp;&gt;</a>" (roundtrip "<a>&lt;&amp;&gt;</a>"));
+    t "script body stays raw" (fun () ->
+        check Alcotest.string "rt" "<script>a < b</script>" (roundtrip "<script>a < b</script>"));
+    t "indentation" (fun () ->
+        let opts = { Xml_serializer.indent = true; xml_declaration = false } in
+        let s = Xml_serializer.to_string ~options:opts (parse_root "<a><b/><c/></a>") in
+        check Alcotest.bool "has newline" true (String.contains s '\n'));
+    t "xml declaration" (fun () ->
+        let opts = { Xml_serializer.indent = false; xml_declaration = true } in
+        let s = Xml_serializer.to_string ~options:opts (parse_root "<a/>") in
+        check Alcotest.bool "decl" true
+          (String.length s > 5 && String.sub s 0 5 = "<?xml"));
+    t "namespace declarations are regenerated on output" (fun () ->
+        (* constructed names carry URIs but no literal xmlns attrs *)
+        let el =
+          Xml_parser.Element
+            ( Qname.make ~uri:"urn:n" ~prefix:"p" "root",
+              [ { Xml_parser.name = Qname.make ~uri:"urn:a" ~prefix:"q" "x"; value = "1" } ],
+              [ Xml_parser.Element (Qname.make ~uri:"urn:n" ~prefix:"p" "kid", [], []) ] )
+        in
+        let out = Xml_serializer.to_string el in
+        check Alcotest.bool "xmlns:p" true
+          (let re = Str.regexp ".*xmlns:p=\"urn:n\".*" in
+           Str.string_match re out 0);
+        check Alcotest.bool "xmlns:q" true
+          (let re = Str.regexp ".*xmlns:q=\"urn:a\".*" in
+           Str.string_match re out 0);
+        (* declarations are not repeated on the child *)
+        check Alcotest.bool "child undecorated" true
+          (let re = Str.regexp ".*<p:kid/>.*" in
+           Str.string_match re out 0);
+        (* and the round trip preserves the URIs *)
+        match Xml_parser.parse_root out with
+        | Xml_parser.Element (n, [ a ], [ Xml_parser.Element (k, _, _) ]) ->
+            check (Alcotest.option Alcotest.string) "root uri" (Some "urn:n") n.Qname.uri;
+            check (Alcotest.option Alcotest.string) "attr uri" (Some "urn:a")
+              a.Xml_parser.name.Qname.uri;
+            check (Alcotest.option Alcotest.string) "kid uri" (Some "urn:n") k.Qname.uri
+        | _ -> Alcotest.fail "bad reparse shape");
+    t "default namespace regenerated" (fun () ->
+        let el = Xml_parser.Element (Qname.make ~uri:"urn:d" "plain", [], []) in
+        check Alcotest.string "xmlns" "<plain xmlns=\"urn:d\"/>"
+          (Xml_serializer.to_string el));
+    t "namespaced dom round trip through xquery constructor" (fun () ->
+        let r =
+          Xquery.Engine.eval_string
+            "declare namespace p = 'urn:pp'; <p:a><p:b/></p:a>"
+        in
+        match r with
+        | [ Xdm_item.Node n ] ->
+            let out = Dom.serialize n in
+            let doc = Dom.of_string out in
+            let b = List.hd (Dom.get_elements_by_local_name doc "b") in
+            check (Alcotest.option Alcotest.string) "uri preserved" (Some "urn:pp")
+              (Option.get (Dom.name b)).Qname.uri
+        | _ -> Alcotest.fail "expected one node");
+    t "double parse is stable" (fun () ->
+        let once = roundtrip "<a p='1'>t<b/><!--c--></a>" in
+        check Alcotest.string "stable" once (roundtrip once));
+  ]
+
+let suite = qname_tests @ escape_tests @ parser_tests @ serializer_tests
