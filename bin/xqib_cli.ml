@@ -81,10 +81,39 @@ let page_cmd =
   let query =
     Arg.(value & opt (some string) None & info [ "query" ] ~docv:"XQUERY" ~doc:"Run a query against the final page and print the result.")
   in
-  let run file clicks types show_doc render uppercase query =
+  let fault_rate =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:
+            "Inject network faults (drops + 5xx) with this total \
+             probability per request, in [0,1). The browser retries with \
+             backoff and falls back to its client-side store.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the deterministic fault/retry randomness; the same \
+             seed replays the exact same schedule.")
+  in
+  let run file clicks types show_doc render uppercase query fault_rate seed =
+    if fault_rate < 0. || fault_rate >= 1. then begin
+      Printf.eprintf "error: --fault-rate must be in [0, 1), got %g\n" fault_rate;
+      exit 2
+    end;
     handle (fun () ->
         Minijs.Js_interp.install ();
-        let b = Xqib.Browser.create ~uppercase_tags:uppercase () in
+        let b =
+          Xqib.Browser.create ~uppercase_tags:uppercase ~seed
+            ~net_fallback:(fault_rate > 0.) ()
+        in
+        if fault_rate > 0. then
+          Http_sim.set_faults b.Xqib.Browser.http ~seed
+            (Http_sim.uniform_faults ~rate:fault_rate);
         Xqib.Page.load b (read_file file);
         Xqib.Browser.run b;
         let doc = Xqib.Browser.document b in
@@ -125,11 +154,25 @@ let page_cmd =
           print_endline (Xqib.Renderer.render doc)
         end;
         Printf.printf "(%d events dispatched, %d DOM mutations)\n"
-          b.Xqib.Browser.events_dispatched b.Xqib.Browser.render_count)
+          b.Xqib.Browser.events_dispatched b.Xqib.Browser.render_count;
+        if fault_rate > 0. then begin
+          let stats = b.Xqib.Browser.net_stats in
+          let rs = Rest.retry_stats b.Xqib.Browser.rest in
+          Printf.printf
+            "(faults: %d injected; %d retries, %d timeouts, %d exhausted, \
+             %d store fallbacks)\n"
+            (Http_sim.total_injected_faults b.Xqib.Browser.http)
+            (stats.Retry.retries + rs.Retry.retries)
+            (stats.Retry.timeouts + rs.Retry.timeouts)
+            (stats.Retry.exhausted + rs.Retry.exhausted)
+            (Rest.fallback_hits b.Xqib.Browser.rest)
+        end)
   in
   Cmd.v
     (Cmd.info "page" ~doc:"Load an (X)HTML page in the simulated browser")
-    Term.(const run $ file $ clicks $ types $ show_doc $ render $ uppercase $ query)
+    Term.(
+      const run $ file $ clicks $ types $ show_doc $ render $ uppercase $ query
+      $ fault_rate $ seed)
 
 (* ---- migrate ---- *)
 

@@ -20,14 +20,18 @@ type t = {
   local_store : Local_store.t;
   mutable online : bool;
   mutable script_errors : string list;
+  mutable retry : Retry.policy;
+  net_prng : Prng.t;
+  net_stats : Retry.stats;
 }
 
 let create ?(cache = false) ?(policy = Origin.Same_origin) ?(uppercase_tags = false)
     ?(navigator = Bom.internet_explorer) ?(screen = Bom.default_screen) ?clock
-    ?http ?(href = "http://localhost/") () =
+    ?http ?(href = "http://localhost/") ?(retry = Retry.default)
+    ?(net_fallback = false) ?(seed = 0) () =
   let clock = match clock with Some c -> c | None -> Virtual_clock.create () in
   let http = match http with Some h -> h | None -> Http_sim.create clock in
-  let rest = Rest.make_client ~cache http in
+  let rest = Rest.make_client ~cache ~retry ~seed http in
   let t =
   {
     clock;
@@ -49,9 +53,21 @@ let create ?(cache = false) ?(policy = Origin.Same_origin) ?(uppercase_tags = fa
     local_store = Local_store.create ();
     online = true;
     script_errors = [];
+    retry;
+    net_prng = Prng.create ~seed:(seed + 1);
+    net_stats = Retry.make_stats ();
   }
   in
   Rest.set_online_guard rest (fun () -> t.online);
+  (* graceful degradation (§2.4): back successful REST fetches into the
+     per-origin Gears-style store, keyed by URI under the document's
+     own origin, and serve them back when retries are exhausted *)
+  if net_fallback then
+    Rest.set_fallback rest
+      ~put:(fun ~uri doc ->
+        Local_store.put t.local_store ~origin:(Origin.of_uri uri) ~name:uri doc)
+      ~get:(fun ~uri ->
+        Local_store.get t.local_store ~origin:(Origin.of_uri uri) ~name:uri);
   t
 
 let set_document t window doc =
@@ -115,9 +131,18 @@ let host_for t window =
                       [ [ Xdm_item.Atomic (Xdm_atomic.Integer 4) ]; result ])
             | exception Xquery.Xq_error.Error e ->
                 (* a failing async call must not kill the event loop:
-                   record it like a browser's network error console *)
-                t.script_errors <-
-                  Xquery.Xq_error.to_string e :: t.script_errors));
+                   record it like a browser's network error console and
+                   signal the listener with readyState 0 (the XHR error
+                   state) carrying the message, so page code can react
+                   instead of silently never reaching readyState 4 *)
+                let msg = Xquery.Xq_error.to_string e in
+                t.script_errors <- msg :: t.script_errors;
+                Virtual_clock.schedule t.clock ~delay:0. (fun () ->
+                    listener.DC.invoke
+                      [
+                        [ Xdm_item.Atomic (Xdm_atomic.Integer 0) ];
+                        [ Xdm_item.Atomic (Xdm_atomic.String msg) ];
+                      ])));
     DC.trigger =
       (fun ~event_type ~targets ->
         List.iter

@@ -29,8 +29,21 @@ type t = {
   mutable script_errors : string list;
       (** errors raised inside listeners (newest first), like a browser
           error console *)
+  mutable retry : Retry.policy;
+      (** resilience policy for page loads (see {!Page.browse}); the
+          REST client of this browser carries its own copy *)
+  net_prng : Prng.t;  (** backoff jitter for page-load retries *)
+  net_stats : Retry.stats;  (** attempt/retry counters for page loads *)
 }
 
+(** [retry] is the resilience policy for all network traffic (REST and
+    page loads; default {!Retry.default}). [net_fallback] enables the
+    §2.4-style graceful degradation: successful REST documents are
+    copied into {!local_store} (keyed by URI, under the document's
+    origin) and served from there when retries are exhausted — off by
+    default so the zero-fault behaviour of existing pages (e.g. what
+    [browser:storeList()] shows) is unchanged. [seed] drives the
+    backoff-jitter PRNGs. *)
 val create :
   ?cache:bool ->
   ?policy:Origin.policy ->
@@ -40,6 +53,9 @@ val create :
   ?clock:Virtual_clock.t ->
   ?http:Http_sim.t ->
   ?href:string ->
+  ?retry:Retry.policy ->
+  ?net_fallback:bool ->
+  ?seed:int ->
   unit ->
   t
 
@@ -77,5 +93,12 @@ val run : t -> unit
     Wires the paper's extension expressions to this browser: events to
     the DOM event tables, [behind] to the event loop, styles to the
     [style] attribute, blocks [fn:doc]/[fn:put] (§4.2.1), exposes the
-    virtual clock as the dynamic-context date/time. *)
+    virtual clock as the dynamic-context date/time.
+
+    The [behind] listener observes XMLHttpRequest-style readyState
+    signals: [1] when the computation is scheduled, then [4] with the
+    result on success — or [0] (the XHR "error" state) with the error
+    message as the second argument when the computation fails (e.g.
+    retries exhausted on a flaky network). The failure is also recorded
+    in [script_errors], and the event loop keeps dispatching. *)
 val host_for : t -> Windows.t -> Xquery.Dynamic_context.host

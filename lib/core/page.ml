@@ -30,7 +30,9 @@ let fresh_state (b : Browser.t) window =
   let static = Xquery.Engine.default_static () in
   Browser_functions.install b window static;
   Rest.install b.Browser.rest static;
-  SC.set_module_resolver static (Web_service.module_resolver b.Browser.http);
+  SC.set_module_resolver static
+    (Web_service.module_resolver ~retry:b.Browser.retry ~prng:b.Browser.net_prng
+       b.Browser.http);
   let host = Browser.host_for b window in
   let ctx = DC.create ~host static in
   let ctx =
@@ -229,6 +231,12 @@ let wire_inline_handlers b window =
 
 (* ---------------- page loading ---------------- *)
 
+(* page fetches go through the browser's resilience policy: on a flaky
+   network a navigation is retried with backoff before giving up *)
+let fetch_page (b : Browser.t) uri =
+  Retry.fetch ~policy:b.Browser.retry ~prng:b.Browser.net_prng
+    ~stats:b.Browser.net_stats b.Browser.http uri
+
 let script_elements doc =
   List.filter
     (fun n ->
@@ -273,7 +281,7 @@ let rec load ?(options = default_options) ?window (b : Browser.t) html =
   (* navigations triggered from scripts re-enter the loader *)
   b.Browser.on_navigate <-
     (fun w href ->
-      let resp = Http_sim.fetch b.Browser.http href in
+      let resp = fetch_page b href in
       if resp.Http_sim.status = 200 then load ~options ~window:w b resp.Http_sim.body);
   Hashtbl.remove states window.Windows.wid;
   let parse_options =
@@ -300,7 +308,7 @@ let rec load ?(options = default_options) ?window (b : Browser.t) html =
 and browse ?options ?window (b : Browser.t) uri =
   let window = match window with Some w -> w | None -> b.Browser.top_window in
   Windows.navigate window uri;
-  let resp = Http_sim.fetch b.Browser.http uri in
+  let resp = fetch_page b uri in
   if resp.Http_sim.status <> 200 then
     Xquery.Xq_error.raise_error "SEBR0404" "cannot load %s: status %d" uri
       resp.Http_sim.status

@@ -53,7 +53,10 @@ val default_options : options
 val load :
   ?options:options -> ?window:Windows.t -> Browser.t -> string -> unit
 
-(** Fetch a page over the simulated network and {!load} it. *)
+(** Fetch a page over the simulated network and {!load} it. The fetch
+    goes through the browser's {!Retry} policy ([Browser.t.retry]), so
+    transient faults are retried with backoff; a final failure raises
+    [SEBR0404]. *)
 val browse : ?options:options -> ?window:Windows.t -> Browser.t -> string -> unit
 
 (** The shared XQuery dynamic context of a window's page, if the page

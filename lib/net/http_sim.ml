@@ -8,12 +8,37 @@ type latency_model = { base : float; per_kb : float }
 
 let default_latency = { base = 0.05; per_kb = 0.002 }
 
+(* ---------------- fault injection ---------------- *)
+
+type fault_kind = Drop | Http_5xx | Corrupt_body | Extra_delay
+
+type fault_spec = {
+  drop : float;
+  http_5xx : float;
+  corrupt_body : float;
+  extra_delay : float;
+  extra_delay_s : float;
+}
+
+let no_faults =
+  { drop = 0.; http_5xx = 0.; corrupt_body = 0.; extra_delay = 0.; extra_delay_s = 0. }
+
+let uniform_faults ~rate =
+  if rate < 0. || rate >= 1. then invalid_arg "uniform_faults: rate must be in [0, 1)";
+  { no_faults with drop = rate /. 2.; http_5xx = rate /. 2. }
+
+type fault_state = { spec : fault_spec; prng : Prng.t }
+
 type t = {
   clock : Virtual_clock.t;
   latency : latency_model;
   handlers : (string, request -> response) Hashtbl.t;
   counts : (string, int) Hashtbl.t;
   bytes : (string, int) Hashtbl.t;
+  mutable faults : fault_state option;  (** default for every host *)
+  host_faults : (string, fault_state) Hashtbl.t;
+  fault_counts : (fault_kind, int) Hashtbl.t;
+  outcomes : (string * bool, int) Hashtbl.t;  (** (host, ok?) -> count *)
 }
 
 let create ?(latency = default_latency) clock =
@@ -23,6 +48,10 @@ let create ?(latency = default_latency) clock =
     handlers = Hashtbl.create 8;
     counts = Hashtbl.create 8;
     bytes = Hashtbl.create 8;
+    faults = None;
+    host_faults = Hashtbl.create 4;
+    fault_counts = Hashtbl.create 4;
+    outcomes = Hashtbl.create 8;
   }
 
 let clock t = t.clock
@@ -67,33 +96,109 @@ let register_doc t ~uri ?(content_type = "application/xml") body =
 let bump table key delta =
   Hashtbl.replace table key (delta + Option.value ~default:0 (Hashtbl.find_opt table key))
 
-let serve t ~meth ~body uri =
+let set_faults t ?host ~seed spec =
+  let state = { spec; prng = Prng.create ~seed } in
+  match host with
+  | Some host -> Hashtbl.replace t.host_faults host state
+  | None -> t.faults <- Some state
+
+let clear_faults t =
+  t.faults <- None;
+  Hashtbl.reset t.host_faults
+
+let injected_faults t kind =
+  Option.value ~default:0 (Hashtbl.find_opt t.fault_counts kind)
+
+let total_injected_faults t = Hashtbl.fold (fun _ c acc -> acc + c) t.fault_counts 0
+
+let outcome_count t ~host ~ok =
+  Option.value ~default:0 (Hashtbl.find_opt t.outcomes (host, ok))
+
+let fault_for t host =
+  match Hashtbl.find_opt t.host_faults host with
+  | Some _ as s -> s
+  | None -> t.faults
+
+(* skip the PRNG entirely for zero probabilities: a rate-0 spec consumes
+   no randomness and behaves byte-identically to no spec at all *)
+let draw state p = p > 0. && Prng.float state.prng < p
+
+let dropped_response =
+  { status = 0; body = "network error: connection dropped (injected fault)";
+    content_type = "text/plain" }
+
+let unavailable_response =
+  { status = 503; body = "service unavailable (injected fault)";
+    content_type = "text/plain" }
+
+(* keep the first half and break the markup: downstream XML parsing is
+   guaranteed to fail, like a truncated transfer *)
+let corrupt_response resp =
+  { resp with body = String.sub resp.body 0 (String.length resp.body / 2) ^ "<corrupt" }
+
+(* serve a request, returning the response and any injected extra
+   latency; fault decisions draw from the per-host (or default) PRNG in
+   a fixed order, so the schedule replays exactly for a given seed *)
+let serve_faulted t ~meth ~body uri =
   match split_uri uri with
-  | None -> { status = 400; body = "bad uri: " ^ uri; content_type = "text/plain" }
-  | Some (host, path) -> (
+  | None -> ({ status = 400; body = "bad uri: " ^ uri; content_type = "text/plain" }, 0.)
+  | Some (host, path) ->
       bump t.counts host 1;
-      match Hashtbl.find_opt t.handlers host with
-      | None -> { status = 502; body = "unknown host: " ^ host; content_type = "text/plain" }
-      | Some handler ->
-          let resp = handler { meth; uri; path; body } in
-          bump t.bytes host (String.length resp.body);
-          resp)
+      let fs = fault_for t host in
+      let extra =
+        match fs with
+        | Some s when draw s s.spec.extra_delay ->
+            bump t.fault_counts Extra_delay 1;
+            s.spec.extra_delay_s
+        | _ -> 0.
+      in
+      let resp =
+        match fs with
+        | Some s when draw s s.spec.drop ->
+            bump t.fault_counts Drop 1;
+            dropped_response
+        | Some s when draw s s.spec.http_5xx ->
+            bump t.fault_counts Http_5xx 1;
+            unavailable_response
+        | _ -> (
+            match Hashtbl.find_opt t.handlers host with
+            | None -> { status = 502; body = "unknown host: " ^ host; content_type = "text/plain" }
+            | Some handler -> (
+                let resp = handler { meth; uri; path; body } in
+                match fs with
+                | Some s when resp.status = 200 && draw s s.spec.corrupt_body ->
+                    bump t.fault_counts Corrupt_body 1;
+                    corrupt_response resp
+                | _ -> resp))
+      in
+      bump t.bytes host (String.length resp.body);
+      bump t.outcomes (host, resp.status = 200) 1;
+      (resp, extra)
 
 let round_trip_latency t resp =
   t.latency.base
   +. (t.latency.per_kb *. (float_of_int (String.length resp.body) /. 1024.))
 
+let serve t ?(meth = Get) ?body uri =
+  let resp, extra = serve_faulted t ~meth ~body uri in
+  (* a dropped connection fails fast (connection reset after the base
+     round trip); everything else pays the size-dependent model *)
+  let latency =
+    (if resp.status = 0 then t.latency.base else round_trip_latency t resp) +. extra
+  in
+  (resp, latency)
+
 let fetch t ?(meth = Get) ?body uri =
-  let resp = serve t ~meth ~body uri in
-  Virtual_clock.sleep t.clock (round_trip_latency t resp);
+  let resp, latency = serve t ~meth ?body uri in
+  Virtual_clock.sleep t.clock latency;
   resp
 
 let fetch_async t ?(meth = Get) ?body uri callback =
   (* the request is served when the task fires, after the latency *)
   let delay_probe = t.latency.base in
   Virtual_clock.schedule t.clock ~delay:delay_probe (fun () ->
-      let resp = serve t ~meth ~body uri in
-      let extra = round_trip_latency t resp -. delay_probe in
+      let resp, latency = serve t ~meth ?body uri in
+      let extra = latency -. delay_probe in
       if extra > 0. then
         Virtual_clock.schedule t.clock ~delay:extra (fun () -> callback resp)
       else callback resp)
@@ -104,4 +209,6 @@ let bytes_served t ~host = Option.value ~default:0 (Hashtbl.find_opt t.bytes hos
 
 let reset_stats t =
   Hashtbl.reset t.counts;
-  Hashtbl.reset t.bytes
+  Hashtbl.reset t.bytes;
+  Hashtbl.reset t.fault_counts;
+  Hashtbl.reset t.outcomes

@@ -18,6 +18,32 @@ type latency_model = {
 
 val default_latency : latency_model
 
+(** {1 Fault injection}
+
+    The simulated network can be made adversarial: each request drawn
+    against a {!fault_spec} may be dropped (status 0, fast failure),
+    answered 503, have its body corrupted (truncated mid-markup), or
+    pay extra latency. Decisions come from a {!Prng} seeded via
+    {!set_faults}, in a fixed per-request draw order, so a fault
+    schedule is exactly reproducible from its seed. Probabilities of 0
+    consume no randomness: a rate-0 spec is byte-identical to no spec. *)
+
+type fault_kind = Drop | Http_5xx | Corrupt_body | Extra_delay
+
+type fault_spec = {
+  drop : float;  (** P(connection drops; response has status 0) *)
+  http_5xx : float;  (** P(server answers 503 without running the handler) *)
+  corrupt_body : float;  (** P(a 200 body is truncated and de-well-formed) *)
+  extra_delay : float;  (** P(the round trip pays [extra_delay_s] more) *)
+  extra_delay_s : float;  (** magnitude of the injected delay, seconds *)
+}
+
+val no_faults : fault_spec
+
+(** A simple adversary: total failure probability [rate], split evenly
+    between drops and 503s. [rate] must be in [0, 1). *)
+val uniform_faults : rate:float -> fault_spec
+
 type t
 
 val create : ?latency:latency_model -> Virtual_clock.t -> t
@@ -39,6 +65,19 @@ val not_found : string -> response
 (** Split a URI into (host, path): ["http://h:1/p?q"] → (["h:1"], ["/p?q"]). *)
 val split_uri : string -> (string * string) option
 
+(** Install a fault model, either as the default for every host or
+    (with [~host]) as a per-host override. Each call installs a fresh
+    PRNG seeded with [seed], so two identically-seeded runs replay the
+    same schedule. *)
+val set_faults : t -> ?host:string -> seed:int -> fault_spec -> unit
+
+val clear_faults : t -> unit
+
+(** Serve a request and return [(response, round-trip latency)] without
+    advancing the clock — the hook {!Retry} uses to model per-attempt
+    timeouts (the caller decides how much of the latency it waits). *)
+val serve : t -> ?meth:meth -> ?body:string -> string -> response * float
+
 (** Synchronous fetch: advances the virtual clock by the round-trip
     latency (models a blocking XMLHttpRequest). *)
 val fetch : t -> ?meth:meth -> ?body:string -> string -> response
@@ -53,4 +92,14 @@ val fetch_async :
 val request_count : t -> host:string -> int
 val total_requests : t -> int
 val bytes_served : t -> host:string -> int
+
+(** Number of faults injected so far, by kind. *)
+val injected_faults : t -> fault_kind -> int
+
+val total_injected_faults : t -> int
+
+(** Requests answered for [host] that did ([ok:true]) / did not
+    ([ok:false]) end in a 200. *)
+val outcome_count : t -> host:string -> ok:bool -> int
+
 val reset_stats : t -> unit

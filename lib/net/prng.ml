@@ -1,0 +1,27 @@
+(* splitmix64 (Steele, Lea, Flood 2014): tiny, fast, and with a
+   64-bit state that steps by a fixed odd constant, so every seed gives
+   a full-period, well-mixed stream. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+let mix1 = 0xBF58476D1CE4E5B9L
+let mix2 = 0x94D049BB133111EBL
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) mix1 in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) mix2 in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* top 53 bits scaled into [0,1) — the usual double construction *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (bits64 t) 11) *. 0x1p-53
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  int_of_float (float t *. float_of_int bound)

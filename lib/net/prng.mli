@@ -1,0 +1,23 @@
+(** A deterministic, seedable pseudo-random number generator
+    (splitmix64). The fault-injection layer and the retry jitter draw
+    from instances of this generator rather than [Stdlib.Random] so
+    that a fault schedule is a pure function of (seed, request
+    sequence): the same seed replays byte-identically across runs and
+    OCaml versions, which is what makes the failure-mode test suite
+    deterministic. *)
+
+type t
+
+val create : seed:int -> t
+
+(** An independent generator with the same current state. *)
+val copy : t -> t
+
+(** Next raw 64-bit state word. *)
+val bits64 : t -> int64
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform int in [0, bound). [bound] must be positive. *)
+val int : t -> int -> int

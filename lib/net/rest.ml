@@ -2,21 +2,36 @@ open Xmlb
 
 let namespace = "http://www.example.com/rest"
 
+type fallback = {
+  put : uri:string -> Dom.node -> unit;
+  get : uri:string -> Dom.node option;
+}
+
 type client = {
   http : Http_sim.t;
   cache : (string, Dom.node) Hashtbl.t option;
   mutable hits : int;
   mutable misses : int;
   mutable online : unit -> bool;
+  mutable policy : Retry.policy;
+  prng : Prng.t;
+  retry_stats : Retry.stats;
+  mutable fallback : fallback option;
+  mutable fallback_hits : int;
 }
 
-let make_client ?(cache = false) http =
+let make_client ?(cache = false) ?(retry = Retry.default) ?(seed = 0) http =
   {
     http;
     cache = (if cache then Some (Hashtbl.create 16) else None);
     hits = 0;
     misses = 0;
     online = (fun () -> true);
+    policy = retry;
+    prng = Prng.create ~seed;
+    retry_stats = Retry.make_stats ();
+    fallback = None;
+    fallback_hits = 0;
   }
 
 let cache_hits c = c.hits
@@ -25,6 +40,13 @@ let cache_misses c = c.misses
 let clear_cache c =
   match c.cache with Some t -> Hashtbl.reset t | None -> ()
 
+let set_retry_policy c policy = c.policy <- policy
+let retry_policy c = c.policy
+let retry_stats c = c.retry_stats
+
+let set_fallback c ~put ~get = c.fallback <- Some { put; get }
+let fallback_hits c = c.fallback_hits
+
 let err fmt = Xquery.Xq_error.raise_error "FODC0002" fmt
 
 let set_online_guard c guard = c.online <- guard
@@ -32,14 +54,39 @@ let set_online_guard c guard = c.online <- guard
 let require_online c uri =
   if not (c.online ()) then err "offline: cannot fetch %s" uri
 
+let retry_fetch c ?meth ?body uri =
+  Retry.fetch ~policy:c.policy ~prng:c.prng ~stats:c.retry_stats c.http ?meth ?body
+    uri
+
 let fetch_doc c uri =
   require_online c uri;
-  let resp = Http_sim.fetch c.http uri in
-  if resp.Http_sim.status <> 200 then
-    err "REST GET %s failed with status %d" uri resp.Http_sim.status
-  else
-    try Dom.of_string resp.Http_sim.body
-    with _ -> err "REST GET %s: response is not well-formed XML" uri
+  match
+    Retry.fetch_check ~policy:c.policy ~prng:c.prng ~stats:c.retry_stats
+      ~check:(fun resp ->
+        match Dom.of_string resp.Http_sim.body with
+        | doc -> Ok doc
+        | exception _ -> Error "not well-formed")
+      c.http uri
+  with
+  | Ok doc ->
+      (* remember a pristine copy for graceful degradation (§2.4): if
+         the network later fails for good, the document can still be
+         served from client-side storage *)
+      (match c.fallback with Some f -> f.put ~uri (Dom.clone doc) | None -> ());
+      doc
+  | Error resp -> (
+      let stored =
+        match c.fallback with Some f -> f.get ~uri | None -> None
+      in
+      match stored with
+      | Some doc ->
+          c.fallback_hits <- c.fallback_hits + 1;
+          (* serve a copy so query-side mutations cannot damage the backup *)
+          Dom.clone doc
+      | None ->
+          if resp.Http_sim.status = 200 then
+            err "REST GET %s: response is not well-formed XML" uri
+          else err "REST GET %s failed with status %d" uri resp.Http_sim.status)
 
 let get_doc c uri =
   match c.cache with
@@ -80,7 +127,7 @@ let install c sctx =
   register "get-text" 1 (fun _cctx args ->
       let uri = seq_string (List.nth args 0) in
       require_online c uri;
-      let resp = Http_sim.fetch c.http uri in
+      let resp = retry_fetch c uri in
       if resp.Http_sim.status <> 200 then
         err "REST GET %s failed with status %d" uri resp.Http_sim.status
       else [ Xdm_item.Atomic (Xdm_atomic.String resp.Http_sim.body) ]);
@@ -88,4 +135,4 @@ let install c sctx =
       let uri = seq_string (List.nth args 0) in
       require_online c uri;
       let body = seq_string (List.nth args 1) in
-      response_to_sequence (Http_sim.fetch c.http ~meth:Http_sim.Post ~body uri))
+      response_to_sequence (retry_fetch c ~meth:Http_sim.Post ~body uri))

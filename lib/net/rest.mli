@@ -17,12 +17,36 @@ val namespace : string
 
 type client
 
-val make_client : ?cache:bool -> Http_sim.t -> client
+(** [retry] is the resilience policy every network call goes through
+    (default {!Retry.default}; pass {!Retry.disabled} for the
+    no-resilience baseline); [seed] seeds the backoff-jitter PRNG so
+    retry schedules are reproducible. *)
+val make_client : ?cache:bool -> ?retry:Retry.policy -> ?seed:int -> Http_sim.t -> client
 
 (** Install a connectivity guard: when it returns false, every
     network operation raises FODC0002 (cache hits still succeed) —
     models working offline against cached/local data (paper §2.4). *)
 val set_online_guard : client -> (unit -> bool) -> unit
+
+val set_retry_policy : client -> Retry.policy -> unit
+val retry_policy : client -> Retry.policy
+
+(** Attempt/retry/timeout counters for every call made by this client. *)
+val retry_stats : client -> Retry.stats
+
+(** Graceful degradation (§2.4 Gears analogue): [put] is called with a
+    pristine copy of every successfully fetched document; when retries
+    are exhausted on a later fetch of the same URI, [get] is consulted
+    and a copy of the stored document is served instead of raising.
+    {!Browser.create} wires these to its per-origin {!Local_store}. *)
+val set_fallback :
+  client ->
+  put:(uri:string -> Dom.node -> unit) ->
+  get:(uri:string -> Dom.node option) ->
+  unit
+
+(** Fetches answered from the fallback store after retry exhaustion. *)
+val fallback_hits : client -> int
 
 (** Requests answered from the cache (no HTTP traffic). *)
 val cache_hits : client -> int

@@ -1,0 +1,112 @@
+type policy = {
+  max_attempts : int;
+  attempt_timeout : float option;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_max : float;
+  jitter : float;
+}
+
+let default =
+  {
+    max_attempts = 3;
+    attempt_timeout = None;
+    backoff_base = 0.1;
+    backoff_factor = 2.;
+    backoff_max = 5.;
+    jitter = 0.1;
+  }
+
+let disabled =
+  {
+    max_attempts = 1;
+    attempt_timeout = None;
+    backoff_base = 0.;
+    backoff_factor = 1.;
+    backoff_max = 0.;
+    jitter = 0.;
+  }
+
+type stats = {
+  mutable attempts : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable successes : int;
+  mutable exhausted : int;
+}
+
+let make_stats () =
+  { attempts = 0; retries = 0; timeouts = 0; successes = 0; exhausted = 0 }
+
+let timeout_status = 408
+
+let timeout_response =
+  { Http_sim.status = timeout_status; body = "attempt timed out (virtual deadline)";
+    content_type = "text/plain" }
+
+let retryable resp =
+  resp.Http_sim.status = 0 || resp.Http_sim.status >= 500
+  || resp.Http_sim.status = timeout_status
+
+let backoff policy ~attempt =
+  Float.min policy.backoff_max
+    (policy.backoff_base *. (policy.backoff_factor ** float_of_int (attempt - 1)))
+
+let backoff_total policy ~attempts =
+  let rec sum k acc =
+    if k >= attempts then acc else sum (k + 1) (acc +. backoff policy ~attempt:k)
+  in
+  sum 1 0. *. (1. +. policy.jitter)
+
+let fetch_check ?(policy = default) ?prng ?stats ~check http ?meth ?body uri =
+  let clock = Http_sim.clock http in
+  let record f = match stats with Some s -> f s | None -> () in
+  let jittered delay =
+    match prng with
+    | Some p when policy.jitter > 0. && delay > 0. ->
+        delay *. (1. +. (policy.jitter *. ((2. *. Prng.float p) -. 1.)))
+    | _ -> delay
+  in
+  let rec attempt k =
+    record (fun s -> s.attempts <- s.attempts + 1);
+    let resp, latency = Http_sim.serve http ?meth ?body uri in
+    let resp =
+      match policy.attempt_timeout with
+      | Some deadline when latency > deadline ->
+          (* the caller waited exactly until the deadline, then gave up *)
+          Virtual_clock.sleep clock deadline;
+          record (fun s -> s.timeouts <- s.timeouts + 1);
+          timeout_response
+      | _ ->
+          Virtual_clock.sleep clock latency;
+          resp
+    in
+    let verdict =
+      if resp.Http_sim.status = 200 then
+        match check resp with Ok v -> `Ok v | Error _ -> `Transient resp
+      else if retryable resp then `Transient resp
+      else `Permanent resp
+    in
+    match verdict with
+    | `Ok v ->
+        record (fun s -> s.successes <- s.successes + 1);
+        Ok v
+    | `Permanent resp -> Error resp
+    | `Transient resp ->
+        if k >= policy.max_attempts then begin
+          record (fun s -> s.exhausted <- s.exhausted + 1);
+          Error resp
+        end
+        else begin
+          record (fun s -> s.retries <- s.retries + 1);
+          Virtual_clock.sleep clock (Float.max 0. (jittered (backoff policy ~attempt:k)));
+          attempt (k + 1)
+        end
+  in
+  attempt 1
+
+let fetch ?policy ?prng ?stats http ?meth ?body uri =
+  match
+    fetch_check ?policy ?prng ?stats ~check:(fun r -> Ok r) http ?meth ?body uri
+  with
+  | Ok r | Error r -> r

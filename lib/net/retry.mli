@@ -1,0 +1,87 @@
+(** Resilience policy for the simulated network: bounded retries with
+    per-attempt timeouts and exponential backoff, all in virtual time
+    on the {!Virtual_clock}.
+
+    The paper's headline scenarios (§6.1 server offload, §4.4 async
+    [behind]) assume a client that copes with flaky transport; this
+    module is that client-side policy. Failures considered transient —
+    dropped connections (status 0), 5xx responses, and virtual
+    timeouts — are retried after a backoff delay; deterministic
+    failures (404, 400…) are returned immediately. Backoff jitter is
+    drawn from a caller-supplied seeded {!Prng}, so retry schedules
+    replay exactly; with no PRNG, delays are the un-jittered curve. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first (>= 1) *)
+  attempt_timeout : float option;
+      (** give up on an attempt after this many virtual seconds: the
+          clock advances by exactly the timeout, not the full latency *)
+  backoff_base : float;  (** delay after the first failed attempt *)
+  backoff_factor : float;  (** multiplier per further failure *)
+  backoff_max : float;  (** cap on a single backoff delay *)
+  jitter : float;
+      (** each delay is scaled by a uniform factor in
+          [1-jitter, 1+jitter] (when a PRNG is supplied) *)
+}
+
+(** 3 attempts, no timeout, 0.1 s base doubling to a 5 s cap, 10%
+    jitter. At fault rate 0 this is indistinguishable from no policy:
+    no retries happen, no randomness is consumed. *)
+val default : policy
+
+(** Exactly one attempt, no timeout — the no-resilience baseline. *)
+val disabled : policy
+
+type stats = {
+  mutable attempts : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable successes : int;
+  mutable exhausted : int;  (** requests that failed every attempt *)
+}
+
+val make_stats : unit -> stats
+
+(** The synthetic response returned when an attempt times out. *)
+val timeout_status : int
+
+(** Is this response worth retrying? (status 0, 5xx, or timeout) *)
+val retryable : Http_sim.response -> bool
+
+(** Backoff delay scheduled after failed attempt number [attempt]
+    (1-based), before jitter: [min backoff_max (base * factor^(attempt-1))]. *)
+val backoff : policy -> attempt:int -> float
+
+(** Closed-form upper bound on the total backoff slept by a request
+    that made [attempts] attempts: the sum of {!backoff} over the
+    [attempts - 1] failures, scaled by [1 + jitter]. Together with the
+    per-attempt wait times this bounds total elapsed virtual time —
+    the property the QCheck suite verifies. *)
+val backoff_total : policy -> attempts:int -> float
+
+(** Fetch with retries. Returns the first success, or the response of
+    the final failed attempt (deterministic failures return at once). *)
+val fetch :
+  ?policy:policy ->
+  ?prng:Prng.t ->
+  ?stats:stats ->
+  Http_sim.t ->
+  ?meth:Http_sim.meth ->
+  ?body:string ->
+  string ->
+  Http_sim.response
+
+(** Like {!fetch}, but a 200 response must also pass [check] (e.g.
+    parse as XML); a check failure counts as transient — a corrupted
+    body is retried like a dropped connection. [Error] carries the
+    final failed response. *)
+val fetch_check :
+  ?policy:policy ->
+  ?prng:Prng.t ->
+  ?stats:stats ->
+  check:(Http_sim.response -> ('a, string) result) ->
+  Http_sim.t ->
+  ?meth:Http_sim.meth ->
+  ?body:string ->
+  string ->
+  ('a, Http_sim.response) result

@@ -145,7 +145,7 @@ let parse_descriptor http body =
       Some (ns, fns, http)
   | _ -> None
 
-let stub http ~call_uri ~fname : SC.external_function =
+let stub ?retry ?prng http ~call_uri ~fname : SC.external_function =
   fun _cctx args ->
     let buf = Buffer.create 64 in
     Buffer.add_string buf (Printf.sprintf "<call fn=\"%s\">" fname);
@@ -170,7 +170,8 @@ let stub http ~call_uri ~fname : SC.external_function =
       args;
     Buffer.add_string buf "</call>";
     let resp =
-      Http_sim.fetch http ~meth:Http_sim.Post ~body:(Buffer.contents buf) call_uri
+      Retry.fetch ?policy:retry ?prng http ~meth:Http_sim.Post
+        ~body:(Buffer.contents buf) call_uri
     in
     if resp.Http_sim.status <> 200 then
       err "web-service call %s failed: %s" fname resp.Http_sim.body
@@ -198,12 +199,12 @@ let stub http ~call_uri ~fname : SC.external_function =
             (Dom.children result)
       | _ -> err "malformed web-service response"
 
-let module_resolver http ~uri ~locations =
+let module_resolver ?retry ?prng http ~uri ~locations =
   let locations = if locations = [] then [ uri ] else locations in
   let try_location loc =
     if not (String.length loc > 7 && String.sub loc 0 7 = "http://") then None
     else
-      let resp = Http_sim.fetch http loc in
+      let resp = Retry.fetch ?policy:retry ?prng http loc in
       if resp.Http_sim.status <> 200 then None
       else if String.equal resp.Http_sim.content_type "application/xquery" then
         Some (SC.Module_source resp.Http_sim.body)
@@ -221,7 +222,7 @@ let module_resolver http ~uri ~locations =
                     (fun (fname, arity) ->
                       ( Qname.make ~uri:ns fname,
                         arity,
-                        stub http ~call_uri ~fname ))
+                        stub ?retry ?prng http ~call_uri ~fname ))
                     fns))
         | None -> None
   in

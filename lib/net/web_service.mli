@@ -30,8 +30,12 @@ val call_count : service -> int
 
 (** A module resolver for static contexts: resolves [at] locations by
     fetching them; an XML [<service>] descriptor becomes external RPC
-    stubs, an [application/xquery] body becomes module source. *)
+    stubs, an [application/xquery] body becomes module source. The
+    descriptor fetch and every RPC the stubs later perform go through
+    [retry] (default {!Retry.default}) with jitter from [prng]. *)
 val module_resolver :
+  ?retry:Retry.policy ->
+  ?prng:Prng.t ->
   Http_sim.t ->
   uri:string ->
   locations:string list ->

@@ -223,6 +223,81 @@ let make_elsevier ?(journals = 2) ?(volumes = 2) ?(issues = 2) ?(articles = 3) h
   { server; article_count; browse_page_path = "/reference"; client_page_path }
 
 (* ------------------------------------------------------------------ *)
+(* §6.1 under a flaky network                                           *)
+
+type flaky_report = {
+  visits : int;
+  pages_ok : int;
+  pages_lost : int;
+  queries_ok : int;
+  queries_failed : int;
+  fallback_hits : int;
+  attempts : int;
+  retries : int;
+  server_requests : int;
+  injected_faults : int;
+  elapsed : float;
+}
+
+let run_elsevier_flaky ?journals ?volumes ?issues ?articles ?(visits = 20) ~rate
+    ~seed ~resilient () =
+  let clock = Virtual_clock.create () in
+  let http = Http_sim.create clock in
+  let e = make_elsevier ?journals ?volumes ?issues ?articles http in
+  let host = Appserver.App_server.host e.server in
+  let retry =
+    if resilient then { Retry.default with Retry.max_attempts = 8 }
+    else Retry.disabled
+  in
+  (* no REST memory cache: every visit re-fetches the archive, so the
+     degraded network is exercised on each round; resilience comes from
+     retry + the Local_store fallback instead *)
+  let b =
+    Xqib.Browser.create ~cache:false ~retry ~net_fallback:resilient ~seed ~clock
+      ~http ()
+  in
+  let page_uri = "http://" ^ host ^ e.client_page_path in
+  (* the first visit happens on a healthy network (it warms the
+     fallback store); then the network degrades *)
+  Xqib.Page.browse b page_uri;
+  Xqib.Browser.run b;
+  Http_sim.set_faults http ~host ~seed (Http_sim.uniform_faults ~rate);
+  let pages_ok = ref 1
+  and pages_lost = ref 0
+  and queries_ok = ref 1
+  and queries_failed = ref 0 in
+  for _ = 2 to visits do
+    let errors_before = List.length b.Xqib.Browser.script_errors in
+    match Xqib.Page.browse b page_uri with
+    | () ->
+        incr pages_ok;
+        Xqib.Browser.run b;
+        (* the migrated client page fetches the archive via rest:get as
+           it loads; a failure lands in the error console *)
+        if List.length b.Xqib.Browser.script_errors > errors_before then
+          incr queries_failed
+        else incr queries_ok
+    | exception Xquery.Xq_error.Error _ -> incr pages_lost
+  done;
+  {
+    visits;
+    pages_ok = !pages_ok;
+    pages_lost = !pages_lost;
+    queries_ok = !queries_ok;
+    queries_failed = !queries_failed;
+    fallback_hits = Rest.fallback_hits b.Xqib.Browser.rest;
+    attempts =
+      (Rest.retry_stats b.Xqib.Browser.rest).Retry.attempts
+      + b.Xqib.Browser.net_stats.Retry.attempts;
+    retries =
+      (Rest.retry_stats b.Xqib.Browser.rest).Retry.retries
+      + b.Xqib.Browser.net_stats.Retry.retries;
+    server_requests = Http_sim.request_count http ~host;
+    injected_faults = Http_sim.total_injected_faults http;
+    elapsed = Virtual_clock.now clock;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* §6.2 maps/weather mash-up                                            *)
 
 let setup_mashup http =

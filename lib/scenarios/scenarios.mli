@@ -55,6 +55,42 @@ val make_elsevier :
   Http_sim.t ->
   elsevier
 
+(** {1 §6.1 under a flaky network (bench T7)} *)
+
+type flaky_report = {
+  visits : int;  (** user browse requests issued *)
+  pages_ok : int;  (** page loads that completed (incl. retries) *)
+  pages_lost : int;  (** page loads that failed every attempt *)
+  queries_ok : int;  (** archive queries that produced a result *)
+  queries_failed : int;  (** archive queries that errored *)
+  fallback_hits : int;  (** queries served from the Local_store backup *)
+  attempts : int;  (** total network attempts (pages + REST) *)
+  retries : int;  (** attempts beyond the first *)
+  server_requests : int;  (** requests that reached the Elsevier host *)
+  injected_faults : int;
+  elapsed : float;  (** total virtual seconds *)
+}
+
+(** The §6.1 browse workload on an adversarial network: [visits] user
+    visits to the migrated Reference 2.0 client page, with
+    {!Http_sim.uniform_faults} at [rate] (seeded with [seed]) on the
+    Elsevier host from the second visit on. With [resilient], the
+    browser retries with backoff (8 attempts) and falls back to the
+    §2.4 client-side store for documents it has seen; without, it is
+    the single-attempt baseline and loses requests. Deterministic for
+    a given (rate, seed). *)
+val run_elsevier_flaky :
+  ?journals:int ->
+  ?volumes:int ->
+  ?issues:int ->
+  ?articles:int ->
+  ?visits:int ->
+  rate:float ->
+  seed:int ->
+  resilient:bool ->
+  unit ->
+  flaky_report
+
 (** {1 §6.2 maps/weather mash-up} *)
 
 (** Register the simulated map, weather and webcam services; returns

@@ -10,6 +10,7 @@ let () =
       ("scripting", Test_scripting.suite);
       ("properties", Test_properties.suite);
       ("net", Test_net.suite);
+      ("faults", Test_faults.suite);
       ("browser", Test_browser.suite);
       ("windows", Test_windows.suite);
       ("renderer", Test_renderer.suite);

@@ -368,6 +368,48 @@ let fuzz_properties =
         | exception _ -> false);
   ]
 
+(* ---------- retry / fault model ---------- *)
+
+(* With fault probability p < 1 and enough attempts, a retried fetch
+   eventually succeeds, and its elapsed virtual time is bounded by the
+   closed form: one latency per attempt plus the jittered backoff sum
+   (Retry.backoff_total). *)
+let retry_properties =
+  let policy =
+    {
+      Retry.default with
+      Retry.max_attempts = 2000;
+      backoff_base = 0.01;
+      backoff_factor = 2.;
+      backoff_max = 0.5;
+      jitter = 0.2;
+    }
+  in
+  let base = 0.05 in
+  let gen =
+    Q.make
+      ~print:(fun (p, seed) -> Printf.sprintf "p=%.3f seed=%d" p seed)
+      Q.Gen.(pair (float_bound_exclusive 0.95) (int_bound 100000))
+  in
+  [
+    qt ~count:100 "retry terminates with success and bounded virtual time" gen
+      (fun (p, seed) ->
+        let clock = Virtual_clock.create () in
+        let http = Http_sim.create ~latency:{ Http_sim.base; per_kb = 0. } clock in
+        Http_sim.register_doc http ~uri:"http://h/x.xml" "<x/>";
+        Http_sim.set_faults http ~seed
+          { Http_sim.no_faults with Http_sim.drop = p /. 2.; http_5xx = p /. 2. };
+        let stats = Retry.make_stats () in
+        let prng = Prng.create ~seed:(seed + 1) in
+        let r = Retry.fetch ~policy ~prng ~stats http "http://h/x.xml" in
+        let bound =
+          (float_of_int stats.Retry.attempts *. base)
+          +. Retry.backoff_total policy ~attempts:stats.Retry.attempts
+          +. 1e-6
+        in
+        r.Http_sim.status = 200 && Virtual_clock.now clock <= bound);
+  ]
+
 let suite =
   properties_xml @ properties_dom @ properties_atomic @ printer_tests
-  @ optimizer_properties @ fuzz_properties
+  @ optimizer_properties @ fuzz_properties @ retry_properties
