@@ -6,7 +6,16 @@
 open Bechamel
 open Toolkit
 
-let ns_per_run ?(quota = 0.5) f =
+(* --smoke: tiny quotas and sizes so CI can exercise every bench path
+   cheaply; sections consult [smoke_enabled] for their size lists. *)
+let smoke = ref false
+let set_smoke b = smoke := b
+let smoke_enabled () = !smoke
+
+let ns_per_run ?quota f =
+  let quota =
+    if !smoke then 0.05 else match quota with Some q -> q | None -> 0.5
+  in
   let test = Test.make ~name:"b" (Staged.stage f) in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
@@ -40,3 +49,40 @@ let section id title =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s — %s\n" id title;
   Printf.printf "==============================================================\n"
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: BENCH_<id>.json at the repo root, one
+   entry per measured cell, so the perf trajectory is trackable
+   across PRs. Skipped in smoke mode (smoke numbers are meaningless
+   and would clobber the committed ones). *)
+
+type json_entry = {
+  e_name : string;
+  e_n : int;
+  e_ns : float;  (* ns per op *)
+  e_speedup : float option;  (* vs the naive/baseline variant *)
+}
+
+let json_entry ?speedup ~name ~n ns =
+  { e_name = name; e_n = n; e_ns = ns; e_speedup = speedup }
+
+let write_json ~file entries =
+  if not !smoke then begin
+    let oc = open_out file in
+    let num f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f in
+    output_string oc "[\n";
+    let last = List.length entries - 1 in
+    List.iteri
+      (fun i e ->
+        Printf.fprintf oc
+          "  {\"name\": %S, \"n\": %d, \"ns_per_op\": %s, \"speedup\": %s}%s\n"
+          e.e_name e.e_n (num e.e_ns)
+          (match e.e_speedup with
+          | None -> "null"
+          | Some s -> Printf.sprintf "%.2f" s)
+          (if i < last then "," else ""))
+      entries;
+    output_string oc "]\n";
+    close_out oc;
+    Printf.printf "wrote %s (%d entries)\n" file (List.length entries)
+  end

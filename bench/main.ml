@@ -81,7 +81,7 @@ let bench_f1 () =
       Printf.printf "%-10d %14s %14s %14s %14s %14s\n" n (pretty_ns parse)
         (pretty_ns compile) (pretty_ns run_main) (pretty_ns dispatch)
         (pretty_ns render))
-    [ 10; 100; 1000 ]
+    (if smoke_enabled () then [ 10 ] else [ 10; 100; 1000 ])
 
 (* ------------------------------------------------------------------ *)
 (* F2 — server offload (Fig. 2)                                        *)
@@ -128,7 +128,7 @@ let bench_f2 () =
       let se, sr, st = server_side () in
       let ce, cr, ct = client_side () in
       Printf.printf "%-10d | %8d %9d %8.3f | %8d %9d %8.3f\n" n se sr st ce cr ct)
-    [ 1; 5; 20; 50 ];
+    (if smoke_enabled () then [ 1; 5 ] else [ 1; 5; 20; 50 ]);
   print_endline
     "\nshape check: server evaluations grow linearly server-side and stay at 0\n\
      when migrated; requests collapse to page+document with the client cache."
@@ -215,6 +215,13 @@ let bench_t1 () =
 
 let bench_t2 () =
   section "T2" "XQuery vs JavaScript in the browser (§7): navigation / update / events";
+  let entries = ref [] in
+  let record ~name ~n ~js ~xq =
+    entries :=
+      json_entry ~name:(name ^ "/xquery") ~n ~speedup:(js /. xq) xq
+      :: json_entry ~name:(name ^ "/js") ~n js
+      :: !entries
+  in
   Printf.printf "%-8s %-22s %14s %14s\n" "n" "operation" "JavaScript" "XQuery";
   List.iter
     (fun n ->
@@ -234,6 +241,7 @@ let bench_t2 () =
         ns_per_run (fun () ->
             ignore (Sys.opaque_identity (run_xq bx "count(//item[@class='even'])")))
       in
+      record ~name:"navigation" ~n ~js:js_nav ~xq:xq_nav;
       Printf.printf "%-8d %-22s %14s %14s\n" n "DOM navigation" (pretty_ns js_nav)
         (pretty_ns xq_nav);
       (* update: insert k elements per run *)
@@ -258,6 +266,7 @@ let bench_t2 () =
       let xq_upd =
         ns_per_run (fun () -> ignore (run_xq bx (Printf.sprintf "local:add(%d)" k)))
       in
+      record ~name:"update" ~n ~js:js_upd ~xq:xq_upd;
       Printf.printf "%-8d %-22s %14s %14s\n" n
         (Printf.sprintf "DOM update (+%d)" k)
         (pretty_ns js_upd) (pretty_ns xq_upd);
@@ -275,9 +284,11 @@ let bench_t2 () =
             on event \"ping\" at //div[@id='root'] attach listener local:noop");
       let xst = List.hd (Dom.get_elements_by_local_name (B.document bx) "item") in
       let xq_evt = ns_per_run (fun () -> B.dispatch bx ~target:xst "ping") in
+      record ~name:"event-dispatch" ~n ~js:js_evt ~xq:xq_evt;
       Printf.printf "%-8d %-22s %14s %14s\n" n "event dispatch (bubble)"
         (pretty_ns js_evt) (pretty_ns xq_evt))
-    [ 100; 1000; 10000 ]
+    (if smoke_enabled () then [ 100 ] else [ 100; 1000; 10000 ]);
+  write_json ~file:"BENCH_T2.json" (List.rev !entries)
 
 (* ------------------------------------------------------------------ *)
 (* T3 — window security (§4.2.1)                                       *)
@@ -376,7 +387,7 @@ let bench_t4 () =
 
 let bench_t5 () =
   section "T5" "ablations (§5.1): syntax extension vs HOF fallback; optimizer";
-  let page = wide_page 200 in
+  let page = wide_page (if smoke_enabled () then 50 else 200) in
   let reg_cost src =
     ns_per_run ~quota:1.0 (fun () ->
         let b = B.create () in
@@ -404,7 +415,7 @@ let bench_t5 () =
   Printf.printf "  HOF fallback (browser:setStyle)          %14s\n"
     (pretty_ns (reg_cost style_hof));
   (* optimizer ablation *)
-  let doc = Dom.of_string (wide_page 2000) in
+  let doc = Dom.of_string (wide_page (if smoke_enabled () then 200 else 2000)) in
   let query =
     "count(//item[@class='even'][true()]) + (if (count(//item) > 0) then 1 else 0)"
   in
@@ -426,6 +437,7 @@ let bench_t5 () =
 
 let bench_t6 () =
   section "T6" "XPath embedded in JavaScript vs native XQuery (§2.2)";
+  let entries = ref [] in
   Printf.printf "%-8s %22s %22s\n" "divs" "JS document.evaluate" "native XQuery path";
   List.iter
     (fun n ->
@@ -453,8 +465,13 @@ let bench_t6 () =
         ns_per_run (fun () ->
             ignore (Sys.opaque_identity (run_xq bx "count(//div[contains(., 'love')])")))
       in
+      entries :=
+        json_entry ~name:"contains-path/xquery" ~n ~speedup:(js /. xq) xq
+        :: json_entry ~name:"contains-path/js" ~n js
+        :: !entries;
       Printf.printf "%-8d %22s %22s\n" n (pretty_ns js) (pretty_ns xq))
-    [ 100; 1000; 5000 ];
+    (if smoke_enabled () then [ 100 ] else [ 100; 1000; 5000 ]);
+  write_json ~file:"BENCH_T6.json" (List.rev !entries);
   print_endline
     "\nshape check: both run on the same engine underneath; the JS path adds\n\
      interpreter and API-marshalling overhead on top (the paper's motivation\n\
@@ -485,24 +502,126 @@ let bench_t7 () =
             r.Scenarios.retries r.Scenarios.fallback_hits
             r.Scenarios.injected_faults)
         [ false; true ])
-    [ 0.0; 0.1; 0.3; 0.5; 0.7 ];
+    (if smoke_enabled () then [ 0.0; 0.3 ] else [ 0.0; 0.1; 0.3; 0.5; 0.7 ]);
   print_endline
     "\nshape check: at rate 0 both columns are identical (zero-cost when\n\
      disabled); as the rate grows the baseline loses visits while the\n\
      resilient client completes them all, paying retries + backoff time."
 
+(* ------------------------------------------------------------------ *)
+(* T8 — DOM acceleration layer: order keys + indexes vs naive          *)
+
+(* Two-level document (~sqrt n sections of ~sqrt n items each): child
+   lists stay moderately wide so the naive path comparison pays its
+   child-index scans without making the naive cells unmeasurably slow. *)
+let t8_sections n = max 1 (int_of_float (ceil (sqrt (float_of_int n))))
+
+let t8_doc n =
+  let secs = t8_sections n in
+  let per = (n + secs - 1) / secs in
+  let buf = Buffer.create (n * 32) in
+  Buffer.add_string buf "<html><body><div id=\"root\">";
+  let k = ref 0 in
+  for s = 1 to secs do
+    Buffer.add_string buf (Printf.sprintf "<sec id=\"s%d\">" s);
+    for _ = 1 to per do
+      if !k < n then begin
+        incr k;
+        Buffer.add_string buf (Printf.sprintf "<item id=\"i%d\">v%d</item>" !k !k)
+      end
+    done;
+    Buffer.add_string buf "</sec>"
+  done;
+  Buffer.add_string buf "</div></body></html>";
+  Dom.of_string (Buffer.contents buf)
+
+let bench_t8 () =
+  section "T8" "DOM acceleration: order keys, indexes, axis fast paths vs naive ablation";
+  let entries = ref [] in
+  Printf.printf "%-8s %-22s %14s %14s %9s\n" "n" "workload" "accelerated"
+    "naive" "speedup";
+  let measure ~name ~n f =
+    Dom.set_acceleration true;
+    let fast = ns_per_run f in
+    Dom.set_acceleration false;
+    let naive = ns_per_run f in
+    Dom.set_acceleration true;
+    let speedup = naive /. fast in
+    entries :=
+      json_entry ~name:(name ^ "/naive") ~n naive
+      :: json_entry ~name ~n ~speedup fast
+      :: !entries;
+    Printf.printf "%-8d %-22s %14s %14s %8.1fx\n" n name (pretty_ns fast)
+      (pretty_ns naive) speedup
+  in
+  List.iter
+    (fun n ->
+      let doc = t8_doc n in
+      let all = Dom.descendants doc in
+      let sorted_seq = Xdm_item.of_nodes all in
+      let reversed_seq = Xdm_item.of_nodes (List.rev all) in
+      let compiled src =
+        Xquery.Engine.compile ~static:(Xquery.Engine.default_static ()) src
+      in
+      let run q () =
+        ignore
+          (Sys.opaque_identity
+             (Xquery.Engine.run ~context_item:(Xdm_item.Node doc) q))
+      in
+      let mid = Printf.sprintf "s%d" (max 1 (t8_sections n / 2)) in
+      let q_follow =
+        compiled (Printf.sprintf "count(//sec[@id='%s']/following::item)" mid)
+      in
+      let q_preceding =
+        compiled (Printf.sprintf "count(//sec[@id='%s']/preceding::item)" mid)
+      in
+      let q_desc = compiled "count(//item)" in
+      let last_id = Printf.sprintf "i%d" n in
+      measure ~name:"doc-order/sorted" ~n (fun () ->
+          ignore (Sys.opaque_identity (Xdm_item.document_order sorted_seq)));
+      measure ~name:"doc-order/reversed" ~n (fun () ->
+          ignore (Sys.opaque_identity (Xdm_item.document_order reversed_seq)));
+      measure ~name:"following" ~n (run q_follow);
+      measure ~name:"preceding" ~n (run q_preceding);
+      measure ~name:"descendant-by-name" ~n (run q_desc);
+      measure ~name:"by-id" ~n (fun () ->
+          ignore (Sys.opaque_identity (Dom.get_element_by_id doc last_id))))
+    (if smoke_enabled () then [ 64 ] else [ 100; 1000; 10000 ]);
+  write_json ~file:"BENCH_T8.json" (List.rev !entries);
+  print_endline
+    "\nshape check: the accelerated column must win by >=5x at n=10000 on the\n\
+     doc-order and following/preceding workloads; both columns compute\n\
+     identical results (the ablation switch is the test oracle)."
+
 let () =
+  let only = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        set_smoke true;
+        parse_args rest
+    | "--only" :: ids :: rest ->
+        only := String.split_on_char ',' (String.lowercase_ascii ids);
+        parse_args rest
+    | arg :: _ ->
+        Printf.eprintf "usage: main.exe [--smoke] [--only f1,t2,...]; got %S\n" arg;
+        exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let run id f = if !only = [] || List.mem id !only then f () in
   print_endline "XQuery in the Browser — benchmark harness";
   print_endline "(virtual-time metrics are deterministic; wall-clock numbers";
   print_endline " are Bechamel OLS estimates on this machine)";
-  bench_f1 ();
-  bench_f2 ();
-  bench_f3 ();
-  bench_t1 ();
-  bench_t2 ();
-  bench_t3 ();
-  bench_t4 ();
-  bench_t5 ();
-  bench_t6 ();
-  bench_t7 ();
+  if smoke_enabled () then print_endline "[smoke mode: tiny sizes and quotas]";
+  run "f1" bench_f1;
+  run "f2" bench_f2;
+  run "f3" bench_f3;
+  run "t1" bench_t1;
+  run "t2" bench_t2;
+  run "t3" bench_t3;
+  run "t4" bench_t4;
+  run "t5" bench_t5;
+  run "t6" bench_t6;
+  run "t7" bench_t7;
+  run "t8" bench_t8;
   print_endline "\ndone."

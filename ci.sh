@@ -1,6 +1,8 @@
 #!/bin/sh
-# Tier-1 gate: build everything, run the full test suite.
+# Tier-1 gate: build everything, run the full test suite, then a
+# bench smoke (tiny sizes/quotas) so bench code cannot bit-rot.
 set -eu
 cd "$(dirname "$0")"
 dune build @all
 dune runtest
+dune exec bench/main.exe -- --smoke > /dev/null

@@ -12,6 +12,22 @@ type node = {
   nid : int;
   mutable nkind : payload;
   mutable nparent : node option;
+  (* Acceleration state; only consulted while this node is a tree root.
+     See the "Acceleration" section below. *)
+  mutable naccel : accel option;
+}
+
+and accel = {
+  mutable gen : int;
+      (* bumped by every mutation under this root; caches whose
+         [*_gen] stamp differs are stale and relabel on demand *)
+  mutable keys_gen : int;
+  okeys : (int, int) Hashtbl.t;  (* nid -> document-order ordinal *)
+  mutable idx_gen : int;
+  by_id : (string, node list) Hashtbl.t;
+      (* id attribute value -> elements, document order *)
+  by_name : (string, node list) Hashtbl.t;
+      (* local name -> elements, document order *)
 }
 
 and payload =
@@ -33,7 +49,7 @@ let counter = ref 0
 
 let fresh payload =
   incr counter;
-  { nid = !counter; nkind = payload; nparent = None }
+  { nid = !counter; nkind = payload; nparent = None; naccel = None }
 
 let create_document ?uri () = fresh (P_document { dchildren = []; uri })
 
@@ -118,6 +134,93 @@ let pi_target n = match n.nkind with P_pi p -> Some p.target | _ -> None
 
 let rec root n = match n.nparent with None -> n | Some p -> root p
 
+(* ------------------------------------------------------------------ *)
+(* Acceleration: per-root document-order keys and element indexes.
+
+   Every root lazily carries an [accel] record: a generation counter
+   bumped by every mutation under the root, plus three caches stamped
+   with the generation they were built at — document-order ordinals
+   (making [compare_order] an O(1) integer compare), an id->elements
+   index and a local-name->elements index. Stale caches are rebuilt on
+   demand by a single DFS. The [acceleration] switch keeps the naive
+   implementations selectable as the ablation baseline and test
+   oracle. *)
+
+let acceleration = ref true
+let set_acceleration b = acceleration := b
+let acceleration_enabled () = !acceleration
+
+(* Mark a node's own accel state stale. Called whenever the node
+   becomes parentless: its caches may describe a tree it was part of
+   while attached (mutations there only bumped the attached root). *)
+let touch n =
+  match n.naccel with Some s -> s.gen <- s.gen + 1 | None -> ()
+
+(* Mark the tree containing [n] as mutated. *)
+let invalidate n = touch (root n)
+
+let accel_of r =
+  match r.naccel with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          gen = 0;
+          keys_gen = -1;
+          okeys = Hashtbl.create 64;
+          idx_gen = -1;
+          by_id = Hashtbl.create 16;
+          by_name = Hashtbl.create 16;
+        }
+      in
+      r.naccel <- Some s;
+      s
+
+(* Ordinals by pre-order DFS; an element's attributes are labelled
+   after the element and before its children, matching the path
+   comparison (Attr_at sorts before Child_at). *)
+let ensure_keys r s =
+  if s.keys_gen <> s.gen then begin
+    Hashtbl.reset s.okeys;
+    let next = ref 0 in
+    let assign n =
+      Hashtbl.replace s.okeys n.nid !next;
+      incr next
+    in
+    let rec label n =
+      assign n;
+      List.iter assign (attributes n);
+      List.iter label (children n)
+    in
+    label r;
+    s.keys_gen <- s.gen
+  end
+
+let ensure_indexes r s =
+  if s.idx_gen <> s.gen then begin
+    Hashtbl.reset s.by_id;
+    Hashtbl.reset s.by_name;
+    let add tbl k v =
+      Hashtbl.replace tbl k
+        (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+    in
+    let rec walk n =
+      (match n.nkind with
+      | P_element e ->
+          (match attribute_local n "id" with
+          | Some v -> add s.by_id v n
+          | None -> ());
+          add s.by_name e.ename.Qname.local n
+      | _ -> ());
+      List.iter walk (children n)
+    in
+    walk r;
+    let rev tbl = Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl in
+    rev s.by_id;
+    rev s.by_name;
+    s.idx_gen <- s.gen
+  end
+
 let rec string_value n =
   match n.nkind with
   | P_text t -> t.tcontent
@@ -197,22 +300,47 @@ let compare_step a b =
   | Child_at _, Attr_at _ -> 1
   | Child_at i, Child_at j -> Int.compare i j
 
+let compare_paths a b =
+  let rec cmp pa pb =
+    match (pa, pb) with
+    | [], [] -> 0
+    | [], _ -> -1 (* a is an ancestor of b: a first *)
+    | _, [] -> 1
+    | sa :: ra, sb :: rb ->
+        let c = compare_step sa sb in
+        if c <> 0 then c else cmp ra rb
+  in
+  cmp (path_to_root a) (path_to_root b)
+
+let compare_order_naive a b =
+  if a == b then 0
+  else
+    let ra = root a and rb = root b in
+    if ra != rb then Int.compare ra.nid rb.nid else compare_paths a b
+
 let compare_order a b =
   if a == b then 0
   else
     let ra = root a and rb = root b in
     if ra != rb then Int.compare ra.nid rb.nid
-    else
-      let rec cmp pa pb =
-        match (pa, pb) with
-        | [], [] -> 0
-        | [], _ -> -1 (* a is an ancestor of b: a first *)
-        | _, [] -> 1
-        | sa :: ra, sb :: rb ->
-            let c = compare_step sa sb in
-            if c <> 0 then c else cmp ra rb
-      in
-      cmp (path_to_root a) (path_to_root b)
+    else if !acceleration then begin
+      let s = accel_of ra in
+      ensure_keys ra s;
+      match (Hashtbl.find_opt s.okeys a.nid, Hashtbl.find_opt s.okeys b.nid) with
+      | Some ka, Some kb -> Int.compare ka kb
+      | _ -> compare_paths a b
+    end
+    else compare_paths a b
+
+let order_key n =
+  if not !acceleration then None
+  else
+    let r = root n in
+    let s = accel_of r in
+    ensure_keys r s;
+    match Hashtbl.find_opt s.okeys n.nid with
+    | Some k -> Some (r.nid, k)
+    | None -> None
 
 let is_ancestor ~ancestor n =
   let rec go n =
@@ -249,6 +377,7 @@ let observe ~root:oroot callback =
 let unobserve oid = Hashtbl.remove observers oid
 
 let notify node mutation =
+  invalidate node;
   if Hashtbl.length observers > 0 then begin
     let r = root node in
     Hashtbl.iter (fun _ o -> if o.oroot == r then o.callback mutation) observers
@@ -274,13 +403,15 @@ let detach n =
   match n.nparent with
   | None -> ()
   | Some p ->
+      invalidate p;
       (match n.nkind with
       | P_attribute _ -> (
           match p.nkind with
           | P_element e -> e.eattrs <- List.filter (fun a -> a != n) e.eattrs
           | _ -> ())
       | _ -> set_children p (List.filter (fun c -> c != n) (children p)));
-      n.nparent <- None
+      n.nparent <- None;
+      touch n
 
 let remove n =
   match n.nparent with
@@ -353,7 +484,12 @@ let replace n replacements =
           in
           set_children p (weave (children p));
           n.nparent <- None;
-          List.iter (fun r -> r.nparent <- Some p) replacements;
+          touch n;
+          List.iter
+            (fun r ->
+              touch r;
+              r.nparent <- Some p)
+            replacements;
           notify p (Children_changed p))
 
 let set_value n v =
@@ -502,23 +638,54 @@ let serialize ?(indent = false) n =
 
 let pp ppf n = Format.pp_print_string ppf (serialize n)
 
+let in_subtree ~top n = top == n || is_ancestor ~ancestor:top n
+
+(* Early-exit pre-order scan: stops at the first hit instead of
+   materialising the full descendant list. *)
+let rec scan_element_by_id n idv =
+  let self_hit =
+    match n.nkind with
+    | P_element _ -> (
+        match attribute_local n "id" with
+        | Some v -> String.equal v idv
+        | None -> false)
+    | _ -> false
+  in
+  if self_hit then Some n
+  else
+    List.fold_left
+      (fun acc c ->
+        match acc with Some _ -> acc | None -> scan_element_by_id c idv)
+      None (children n)
+
 let get_element_by_id n idv =
-  let candidates = match n.nkind with P_element _ -> n :: descendants n | _ -> descendants n in
-  List.find_opt
-    (fun c ->
-      match c.nkind with
-      | P_element _ -> (
-          match attribute_local c "id" with
-          | Some v -> String.equal v idv
-          | None -> false)
-      | _ -> false)
-    candidates
+  if !acceleration then begin
+    let r = root n in
+    let s = accel_of r in
+    ensure_indexes r s;
+    match Hashtbl.find_opt s.by_id idv with
+    | None | Some [] -> None
+    | Some (first :: _ as bucket) ->
+        if n == r then Some first
+        else List.find_opt (fun c -> in_subtree ~top:n c) bucket
+  end
+  else scan_element_by_id n idv
 
 let get_elements_by_local_name n local =
-  let candidates = match n.nkind with P_element _ -> n :: descendants n | _ -> descendants n in
-  List.filter
-    (fun c ->
-      match c.nkind with
-      | P_element e -> String.equal e.ename.Qname.local local
-      | _ -> false)
-    candidates
+  if !acceleration then begin
+    let r = root n in
+    let s = accel_of r in
+    ensure_indexes r s;
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt s.by_name local) in
+    if n == r then bucket else List.filter (fun c -> in_subtree ~top:n c) bucket
+  end
+  else
+    let candidates =
+      match n.nkind with P_element _ -> n :: descendants n | _ -> descendants n
+    in
+    List.filter
+      (fun c ->
+        match c.nkind with
+        | P_element e -> String.equal e.ename.Qname.local local
+        | _ -> false)
+      candidates

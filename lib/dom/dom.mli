@@ -82,8 +82,34 @@ val preceding_siblings : node -> node list
 
 (** [compare_order a b] orders nodes in document order. Nodes from
     different trees are ordered by their root's identity (stable,
-    implementation-defined, as XDM permits). *)
+    implementation-defined, as XDM permits). When acceleration is on
+    (the default) this is an O(1) compare of cached per-document
+    ordinals, relabelled lazily after mutations; the path-based
+    comparison remains the fallback. *)
 val compare_order : node -> node -> int
+
+(** The path-based comparison, bypassing the order-key cache — the
+    ablation baseline and the oracle the accelerated compare is tested
+    against. Same contract as {!compare_order}. *)
+val compare_order_naive : node -> node -> int
+
+(** The node's cached position as a [(root id, ordinal)] pair that
+    sorts consistently with {!compare_order} — lets bulk sorts fetch
+    each key once instead of once per comparison. [None] when
+    acceleration is off. *)
+val order_key : node -> (int * int) option
+
+(** {1 Acceleration}
+
+    Each tree root lazily carries cached document-order keys and
+    id/local-name element indexes, invalidated by a per-root
+    generation counter bumped on every mutation and rebuilt on
+    demand. The switch selects the naive implementations instead
+    (same observable behaviour — used for ablation benchmarks and as
+    the property-test oracle). Global; on by default. *)
+
+val set_acceleration : bool -> unit
+val acceleration_enabled : unit -> bool
 
 val is_ancestor : ancestor:node -> node -> bool
 val equal : node -> node -> bool
@@ -149,10 +175,12 @@ val to_trees : node -> Xml_parser.tree list
 val serialize : ?indent:bool -> node -> string
 val pp : Format.formatter -> node -> unit
 
-(** Find the first descendant element with the given [id] attribute
-    value (HTML [getElementById]). *)
+(** Find the first descendant element (including self if element) with
+    the given [id] attribute value (HTML [getElementById]). Index-backed
+    when acceleration is on; an early-exit scan otherwise. *)
 val get_element_by_id : node -> string -> node option
 
 (** All descendant elements (including self if element) with the given
-    local name, any namespace. *)
+    local name, any namespace, in document order. Index-backed when
+    acceleration is on. *)
 val get_elements_by_local_name : node -> string -> node list

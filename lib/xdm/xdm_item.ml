@@ -85,15 +85,50 @@ let nodes_only context seq =
       | Atomic _ -> type_error "%s requires a sequence of nodes" context)
     seq
 
+(* Strictly ascending implies sorted and duplicate-free. *)
+let rec strictly_ordered = function
+  | a :: (b :: _ as rest) -> Dom.compare_order a b < 0 && strictly_ordered rest
+  | _ -> true
+
 let document_order seq =
   let nodes = nodes_only "document ordering" seq in
-  let sorted = List.stable_sort Dom.compare_order nodes in
-  let rec dedup = function
-    | a :: b :: rest when a == b -> dedup (b :: rest)
-    | a :: rest -> a :: dedup rest
-    | [] -> []
-  in
-  of_nodes (dedup sorted)
+  (* Path steps over a sorted context usually produce already-sorted
+     results; with cached order keys the linear check is cheap and
+     skips the sort entirely. Without acceleration each comparison
+     rebuilds root paths, so go straight to the sort. *)
+  if Dom.acceleration_enabled () && strictly_ordered nodes then seq
+  else
+    let rec dedup = function
+      | a :: b :: rest when a == b -> dedup (b :: rest)
+      | a :: rest -> a :: dedup rest
+      | [] -> []
+    in
+    (* Decorate-sort-undecorate: one key fetch per node, then integer
+       compares, beats a hashtable lookup inside every comparison. A
+       node without a key (shouldn't happen once caches are warm)
+       drops us back to the comparator-based sort. *)
+    let keyed =
+      if Dom.acceleration_enabled () then
+        let rec decorate acc = function
+          | [] -> Some (List.rev acc)
+          | n :: rest -> (
+              match Dom.order_key n with
+              | Some k -> decorate ((k, n) :: acc) rest
+              | None -> None)
+        in
+        decorate [] nodes
+      else None
+    in
+    match keyed with
+    | Some pairs ->
+        let sorted =
+          List.stable_sort
+            (fun ((r1, k1), _) ((r2, k2), _) ->
+              if r1 <> r2 then Int.compare r1 r2 else Int.compare k1 k2)
+            pairs
+        in
+        of_nodes (dedup (List.map snd sorted))
+    | None -> of_nodes (dedup (List.stable_sort Dom.compare_order nodes))
 
 let union a b = document_order (a @ b)
 

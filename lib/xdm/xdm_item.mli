@@ -60,6 +60,9 @@ val item_number : item -> float
 (** {1 Node-sequence operations} *)
 
 (** Sort by document order and remove duplicates (by node identity).
+    Already-sorted duplicate-free input (the common case for path
+    steps) is detected with a linear pass over the cached order keys
+    and returned as-is when DOM acceleration is on.
     @raise Xdm_atomic.Type_error if the sequence contains atomics. *)
 val document_order : sequence -> sequence
 

@@ -26,6 +26,40 @@ let protect = guard
 (* ------------------------------------------------------------------ *)
 (* Axes                                                                *)
 
+let subtree n = n :: Dom.descendants n
+let rev_subtree n = List.rev_append (Dom.descendants n) [ n ]
+
+(* following:: as a structural walk — the subtrees of the following
+   siblings of the node and of each of its ancestors, nearest ancestor
+   first — instead of filtering every node of the document. An
+   attribute sorts after its element and before the element's
+   children, so its following nodes are the element's descendants plus
+   the element's following nodes. *)
+let rec structural_following node =
+  match Dom.kind node with
+  | Dom.Attribute -> (
+      match Dom.parent node with
+      | Some e -> Dom.descendants e @ structural_following e
+      | None -> [])
+  | _ ->
+      List.concat_map
+        (fun a -> List.concat_map subtree (Dom.following_siblings a))
+        (node :: Dom.ancestors node)
+
+(* preceding:: in reverse document order (nearest first), mirroring
+   the naive filtered-and-reversed result. Ancestors are excluded by
+   construction: only sibling subtrees are emitted. *)
+let rec structural_preceding node =
+  match Dom.kind node with
+  | Dom.Attribute -> (
+      match Dom.parent node with
+      | Some e -> structural_preceding e
+      | None -> [])
+  | _ ->
+      List.concat_map
+        (fun a -> List.concat_map rev_subtree (Dom.preceding_siblings a))
+        (node :: Dom.ancestors node)
+
 let axis_nodes axis node =
   match (axis : Ast.axis) with
   | Ast.Child -> Dom.children node
@@ -39,18 +73,22 @@ let axis_nodes axis node =
   | Ast.Following_sibling -> Dom.following_siblings node
   | Ast.Preceding_sibling -> Dom.preceding_siblings node (* nearest first *)
   | Ast.Following ->
-      let all = Dom.descendants (Dom.root node) in
-      List.filter
-        (fun m ->
-          Dom.compare_order node m < 0 && not (Dom.is_ancestor ~ancestor:node m))
-        all
+      if Dom.acceleration_enabled () then structural_following node
+      else
+        let all = Dom.descendants (Dom.root node) in
+        List.filter
+          (fun m ->
+            Dom.compare_order node m < 0 && not (Dom.is_ancestor ~ancestor:node m))
+          all
   | Ast.Preceding ->
-      let all = Dom.descendants (Dom.root node) in
-      List.rev
-        (List.filter
-           (fun m ->
-             Dom.compare_order m node < 0 && not (Dom.is_ancestor ~ancestor:m node))
-           all)
+      if Dom.acceleration_enabled () then structural_preceding node
+      else
+        let all = Dom.descendants (Dom.root node) in
+        List.rev
+          (List.filter
+             (fun m ->
+               Dom.compare_order m node < 0 && not (Dom.is_ancestor ~ancestor:m node))
+             all)
 
 let principal_is_attribute = function Ast.Attribute_axis -> true | _ -> false
 
@@ -82,6 +120,34 @@ let node_test_matches ~axis (test : Ast.node_test) node =
       (match Dom.name node with
       | Some n -> Qname.equal n qn
       | None -> false)
+
+(* Nodes selected by one axis step. descendant::name and
+   descendant-or-self::name (what the optimizer rewrites //name into)
+   resolve through the per-document local-name index instead of
+   filtering the materialised descendant list. *)
+let step_nodes axis (test : Ast.node_test) n =
+  let by_local local refine =
+    let hits = Dom.get_elements_by_local_name n local in
+    let hits =
+      match refine with None -> hits | Some f -> List.filter f hits
+    in
+    match (axis : Ast.axis) with
+    | Ast.Descendant -> List.filter (fun m -> not (Dom.equal m n)) hits
+    | _ -> hits
+  in
+  match (axis, test) with
+  | (Ast.Descendant | Ast.Descendant_or_self), Ast.Local_wildcard local
+    when Dom.acceleration_enabled () ->
+      by_local local None
+  | (Ast.Descendant | Ast.Descendant_or_self), Ast.Name_test qn
+    when Dom.acceleration_enabled () ->
+      by_local qn.Qname.local
+        (Some
+           (fun m ->
+             match Dom.name m with
+             | Some nm -> Qname.equal nm qn
+             | None -> false))
+  | _ -> List.filter (node_test_matches ~axis test) (axis_nodes axis n)
 
 (* ------------------------------------------------------------------ *)
 (* Comparison helpers                                                  *)
@@ -290,9 +356,7 @@ let rec eval (ctx : D.t) (e : Ast.expr) : I.sequence =
       match D.focus_item ctx with
       | I.Atomic _ -> type_err "axis step applied to an atomic context item"
       | I.Node n ->
-          let nodes =
-            List.filter (node_test_matches ~axis test) (axis_nodes axis n)
-          in
+          let nodes = step_nodes axis test n in
           let items = List.map (fun n -> I.Node n) nodes in
           apply_predicates ctx items preds)
   | Ast.E_path (e1, e2) ->

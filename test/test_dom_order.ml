@@ -1,0 +1,315 @@
+(* The DOM acceleration layer (order keys, id/name indexes,
+   sortedness-aware document_order) must be observationally identical
+   to the naive implementations — after arbitrary mutation sequences,
+   with caches built and invalidated mid-sequence. *)
+
+open Xmlb
+module Q = QCheck
+module I = Xdm_item
+
+let qt ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (Q.Test.make ~count ~name gen prop)
+
+let with_acceleration b f =
+  let prev = Dom.acceleration_enabled () in
+  Dom.set_acceleration b;
+  Fun.protect ~finally:(fun () -> Dom.set_acceleration prev) f
+
+let sign c = compare c 0
+
+(* ---------- generators ---------- *)
+
+let names = [| "a"; "b"; "item"; "div"; "sec" |]
+
+let rec tree_gen depth =
+  Q.Gen.(
+    if depth <= 0 then map (fun i -> Xml_parser.Text (Printf.sprintf "t%d" i)) (int_bound 9)
+    else
+      frequency
+        [
+          (1, map (fun i -> Xml_parser.Text (Printf.sprintf "t%d" i)) (int_bound 9));
+          ( 3,
+            map3
+              (fun ni with_id children ->
+                let attrs =
+                  if with_id mod 3 = 0 then
+                    [
+                      {
+                        Xml_parser.name = Qname.make "id";
+                        value = Printf.sprintf "id%d" (with_id mod 7);
+                      };
+                    ]
+                  else []
+                in
+                Xml_parser.Element
+                  (Qname.make names.(ni mod Array.length names), attrs, children))
+              (int_bound 9) (int_bound 9)
+              (list_size (int_bound 3) (tree_gen (depth - 1))) );
+        ])
+
+let ops_gen =
+  Q.Gen.(list_size (int_range 1 25) (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+
+let scenario_gen = Q.Gen.pair (tree_gen 3) ops_gen
+
+let scenario_arbitrary =
+  Q.make
+    ~print:(fun (t, ops) ->
+      Printf.sprintf "%s with %d ops" (Xml_serializer.to_string t) (List.length ops))
+    scenario_gen
+
+(* ---------- mutation driver ---------- *)
+
+let pick l i = List.nth l (i mod List.length l)
+
+let apply_op doc (sel, p, aux) =
+  let all = doc :: Dom.descendants doc in
+  let target = pick all p in
+  let nonroot = Dom.descendants doc in
+  try
+    match sel mod 8 with
+    | 0 ->
+        Dom.append_child ~parent:target
+          (Dom.create_element (Qname.make names.(aux mod Array.length names)))
+    | 1 -> if nonroot <> [] then Dom.remove (pick nonroot aux)
+    | 2 ->
+        if nonroot <> [] then
+          Dom.insert_before ~sibling:(pick nonroot aux) (Dom.create_text "ins")
+    | 3 ->
+        Dom.set_attribute target (Qname.make "id") (Printf.sprintf "id%d" (aux mod 7))
+    | 4 -> Dom.rename target (Qname.make names.(aux mod Array.length names))
+    | 5 -> Dom.set_value target (Printf.sprintf "v%d" aux)
+    | 6 ->
+        (* move a subtree to a new parent, guarding against cycles *)
+        if nonroot <> [] then begin
+          let n = pick nonroot aux in
+          let dst = pick all (p + aux) in
+          if (not (Dom.equal n dst)) && not (Dom.is_ancestor ~ancestor:n dst) then
+            Dom.append_child ~parent:dst n
+        end
+    | _ -> Dom.remove_attribute target (Qname.make "id")
+  with Dom.Dom_error _ -> ()
+
+(* Build the document, then interleave mutations with accelerated
+   queries so caches are built and invalidated repeatedly along the
+   way. Returns the mutated document. *)
+let run_scenario (tree, ops) =
+  let doc = Dom.of_tree [ tree ] in
+  List.iter
+    (fun op ->
+      apply_op doc op;
+      (* probe: force cache (re)builds between mutations *)
+      let ds = Dom.descendants doc in
+      (match ds with n :: _ -> ignore (Dom.compare_order doc n) | [] -> ());
+      ignore (Dom.get_element_by_id doc "id1");
+      ignore (Dom.get_elements_by_local_name doc "item"))
+    ops;
+  doc
+
+(* naive full-scan oracles, independent of the Dom implementations *)
+let scan_by_id doc idv =
+  List.find_opt
+    (fun c ->
+      Dom.kind c = Dom.Element
+      && match Dom.attribute_local c "id" with
+         | Some v -> String.equal v idv
+         | None -> false)
+    (Dom.descendants doc)
+
+let scan_by_name top local =
+  let candidates =
+    match Dom.kind top with
+    | Dom.Element -> top :: Dom.descendants top
+    | _ -> Dom.descendants top
+  in
+  List.filter
+    (fun c ->
+      Dom.kind c = Dom.Element
+      && match Dom.name c with
+         | Some q -> String.equal q.Qname.local local
+         | None -> false)
+    candidates
+
+let node_list_equal a b =
+  List.length a = List.length b && List.for_all2 Dom.equal a b
+
+(* ---------- properties ---------- *)
+
+let prop_keyed_compare_agrees scenario =
+  with_acceleration true (fun () ->
+      let doc = run_scenario scenario in
+      let ns = doc :: Dom.descendants doc in
+      let ns = ns @ List.concat_map Dom.attributes ns in
+      (* cap the O(n^2) pair check *)
+      let ns = List.filteri (fun i _ -> i < 30) ns in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              sign (Dom.compare_order a b) = sign (Dom.compare_order_naive a b))
+            ns)
+        ns)
+
+let prop_index_agrees_with_scan scenario =
+  with_acceleration true (fun () ->
+      let doc = run_scenario scenario in
+      let ids = List.init 7 (Printf.sprintf "id%d") in
+      let by_id_ok =
+        List.for_all
+          (fun idv ->
+            match (Dom.get_element_by_id doc idv, scan_by_id doc idv) with
+            | None, None -> true
+            | Some a, Some b -> Dom.equal a b
+            | _ -> false)
+          ids
+      in
+      let tops =
+        doc
+        :: List.filteri
+             (fun i c -> i < 5 && Dom.kind c = Dom.Element)
+             (Dom.descendants doc)
+      in
+      let by_name_ok =
+        List.for_all
+          (fun top ->
+            Array.for_all
+              (fun local ->
+                node_list_equal
+                  (Dom.get_elements_by_local_name top local)
+                  (scan_by_name top local))
+              names)
+          tops
+      in
+      by_id_ok && by_name_ok)
+
+let prop_document_order_ablation scenario =
+  let doc = with_acceleration true (fun () -> run_scenario scenario) in
+  let ds = Dom.descendants doc in
+  let inputs =
+    [
+      I.of_nodes ds;
+      I.of_nodes (List.rev ds);
+      (* duplicates and interleaving *)
+      I.of_nodes (List.rev ds @ List.filteri (fun i _ -> i mod 2 = 0) ds);
+    ]
+  in
+  List.for_all
+    (fun input ->
+      let fast = with_acceleration true (fun () -> I.document_order input) in
+      let naive = with_acceleration false (fun () -> I.document_order input) in
+      node_list_equal
+        (List.map (function I.Node n -> n | _ -> assert false) fast)
+        (List.map (function I.Node n -> n | _ -> assert false) naive))
+    inputs
+
+let prop_axes_ablation scenario =
+  let doc = with_acceleration true (fun () -> run_scenario scenario) in
+  let run src =
+    I.to_display_string
+      (Xquery.Engine.eval_string ~context_item:(I.Node doc) src)
+  in
+  let queries =
+    [
+      "//item/following::*";
+      "//item/preceding::*";
+      "//a/following::item";
+      "count(//sec/preceding::b)";
+      "//div//item";
+    ]
+  in
+  List.for_all
+    (fun src ->
+      let fast = with_acceleration true (fun () -> run src) in
+      let naive = with_acceleration false (fun () -> run src) in
+      String.equal fast naive)
+    queries
+
+(* ---------- deterministic cases ---------- *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let unit_tests =
+  [
+    t "order keys follow a node moved between documents" (fun () ->
+        with_acceleration true (fun () ->
+            let d1 = Dom.of_string "<r><a id='x'/><b/></r>" in
+            let d2 = Dom.of_string "<s><c/></s>" in
+            (* warm both caches *)
+            ignore (Dom.get_element_by_id d1 "x");
+            ignore (Dom.compare_order d2 d2);
+            let a = Option.get (Dom.get_element_by_id d1 "x") in
+            let s = List.hd (Dom.children d2) in
+            Dom.append_child ~parent:s a;
+            Alcotest.(check bool) "gone from d1" true (Dom.get_element_by_id d1 "x" = None);
+            Alcotest.(check bool) "found in d2" true
+              (match Dom.get_element_by_id d2 "x" with
+              | Some n -> Dom.equal n a
+              | None -> false);
+            let c = List.hd (Dom.children d2) in
+            Alcotest.(check bool) "ordered inside d2" true (Dom.compare_order c a < 0);
+            Alcotest.(check int) "keyed matches naive" (sign (Dom.compare_order c a))
+              (sign (Dom.compare_order_naive c a))));
+    t "detached subtree is its own ordered tree" (fun () ->
+        with_acceleration true (fun () ->
+            let d = Dom.of_string "<r><a><b/><c/></a></r>" in
+            ignore (Dom.compare_order d d);
+            let a = List.hd (Dom.children (List.hd (Dom.children d))) in
+            Dom.remove a;
+            let b = List.nth (Dom.children a) 0 and c = List.nth (Dom.children a) 1 in
+            Alcotest.(check bool) "a < b" true (Dom.compare_order a b < 0);
+            Alcotest.(check bool) "b < c" true (Dom.compare_order b c < 0)));
+    t "document_order still dedups under acceleration" (fun () ->
+        with_acceleration true (fun () ->
+            let d = Dom.of_string "<r><a/></r>" in
+            let a = List.hd (Dom.children (List.hd (Dom.children d))) in
+            let out = I.document_order [ I.Node a; I.Node a ] in
+            Alcotest.(check int) "deduped" 1 (List.length out)));
+    t "id index tracks attribute updates" (fun () ->
+        with_acceleration true (fun () ->
+            let d = Dom.of_string "<r><a/><b/></r>" in
+            let r = List.hd (Dom.children d) in
+            let a = List.nth (Dom.children r) 0 in
+            Alcotest.(check bool) "absent" true (Dom.get_element_by_id d "k" = None);
+            Dom.set_attribute a (Qname.make "id") "k";
+            Alcotest.(check bool) "present" true
+              (match Dom.get_element_by_id d "k" with
+              | Some n -> Dom.equal n a
+              | None -> false);
+            Dom.remove_attribute a (Qname.make "id");
+            Alcotest.(check bool) "absent again" true
+              (Dom.get_element_by_id d "k" = None)));
+    t "name index tracks renames" (fun () ->
+        with_acceleration true (fun () ->
+            let d = Dom.of_string "<r><a/></r>" in
+            let r = List.hd (Dom.children d) in
+            let a = List.hd (Dom.children r) in
+            Alcotest.(check int) "one a" 1
+              (List.length (Dom.get_elements_by_local_name d "a"));
+            Dom.rename a (Qname.make "z");
+            Alcotest.(check int) "no a" 0
+              (List.length (Dom.get_elements_by_local_name d "a"));
+            Alcotest.(check int) "one z" 1
+              (List.length (Dom.get_elements_by_local_name d "z"))));
+    t "subtree-scoped name lookup" (fun () ->
+        with_acceleration true (fun () ->
+            let d = Dom.of_string "<r><s><x/></s><s><x/><x/></s></r>" in
+            let r = List.hd (Dom.children d) in
+            let s2 = List.nth (Dom.children r) 1 in
+            Alcotest.(check int) "whole doc" 3
+              (List.length (Dom.get_elements_by_local_name d "x"));
+            Alcotest.(check int) "second sec" 2
+              (List.length (Dom.get_elements_by_local_name s2 "x"))));
+  ]
+
+let suite =
+  unit_tests
+  @ [
+      qt "keyed compare_order agrees with naive after random mutations"
+        scenario_arbitrary prop_keyed_compare_agrees;
+      qt "index lookups agree with full scans after random mutations"
+        scenario_arbitrary prop_index_agrees_with_scan;
+      qt "document_order identical with acceleration on and off"
+        scenario_arbitrary prop_document_order_ablation;
+      qt ~count:60 "axis queries identical with acceleration on and off"
+        scenario_arbitrary prop_axes_ablation;
+    ]

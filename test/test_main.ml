@@ -3,6 +3,7 @@ let () =
     [
       ("xmlb", Test_xmlb.suite);
       ("dom", Test_dom.suite);
+      ("dom-order", Test_dom_order.suite);
       ("xdm", Test_xdm.suite);
       ("xquery-lang", Test_xquery_lang.suite);
       ("functions", Test_functions.suite);
