@@ -37,6 +37,59 @@ let print_result seq =
       | Xdm_item.Atomic a -> print_endline (Xdm_atomic.to_string a))
     seq
 
+(* ---- observability options (shared by eval/run/page) ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record hierarchical spans over the whole pipeline (compile, \
+           evaluate, PUL apply, network, render) and print the span tree; \
+           with FILE, additionally write the trace as JSON there ('-' \
+           prints the JSON instead of the tree).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Count engine events (axis steps, cache hits, faults, ...) and print the registry as JSON after the run.")
+
+let obs_setup ~trace ~metrics =
+  if trace <> None then Obs.Trace.set_enabled true;
+  if metrics || trace <> None then Obs.Metrics.set_enabled true
+
+(* validate before writing: a malformed trace export is an engine bug
+   and must fail loudly, not poison downstream tooling *)
+let obs_report ~trace ~metrics =
+  (match trace with
+  | None -> ()
+  | Some dest ->
+      let json = Obs.Trace.export_json () in
+      (match Obs.Json.validate json with
+      | Ok () -> ()
+      | Error m ->
+          Printf.eprintf "internal error: malformed trace JSON: %s\n" m;
+          exit 3);
+      if dest = "-" then print_endline json
+      else begin
+        let oc = open_out dest in
+        output_string oc json;
+        output_char oc '\n';
+        close_out oc
+      end;
+      prerr_endline "== trace ==";
+      List.iter
+        (fun s -> Format.eprintf "%a@." Obs.Span.pp s)
+        (Obs.Trace.roots ());
+      if Obs.Trace.dropped () > 0 then
+        Format.eprintf "(%d root spans dropped)@." (Obs.Trace.dropped ()));
+  if metrics then begin
+    prerr_endline "== metrics ==";
+    print_endline (Obs.Metrics.to_json ())
+  end
+
 (* ---- eval ---- *)
 
 let eval_cmd =
@@ -44,20 +97,28 @@ let eval_cmd =
   let optimize =
     Arg.(value & opt bool true & info [ "optimize" ] ~doc:"Run the rewrite optimizer.")
   in
-  let run expr optimize =
-    handle (fun () -> print_result (Xquery.Engine.eval_string ~optimize expr))
+  let run expr optimize trace metrics =
+    obs_setup ~trace ~metrics;
+    handle (fun () ->
+        print_result (Xquery.Engine.eval_string ~optimize expr);
+        obs_report ~trace ~metrics)
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate an XQuery expression")
-    Term.(const run $ expr $ optimize)
+    Term.(const run $ expr $ optimize $ trace_arg $ metrics_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xq") in
-  let run file =
-    handle (fun () -> print_result (Xquery.Engine.eval_string (read_file file)))
+  let run file trace metrics =
+    obs_setup ~trace ~metrics;
+    handle (fun () ->
+        print_result (Xquery.Engine.eval_string (read_file file));
+        obs_report ~trace ~metrics)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Run an XQuery program file") Term.(const run $ file)
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an XQuery program file")
+    Term.(const run $ file $ trace_arg $ metrics_arg)
 
 (* ---- page ---- *)
 
@@ -100,17 +161,20 @@ let page_cmd =
             "Seed for the deterministic fault/retry randomness; the same \
              seed replays the exact same schedule.")
   in
-  let run file clicks types show_doc render uppercase query fault_rate seed =
+  let run file clicks types show_doc render uppercase query fault_rate seed
+      trace metrics =
     if fault_rate < 0. || fault_rate >= 1. then begin
       Printf.eprintf "error: --fault-rate must be in [0, 1), got %g\n" fault_rate;
       exit 2
     end;
+    obs_setup ~trace ~metrics;
     handle (fun () ->
         Minijs.Js_interp.install ();
         let b =
           Xqib.Browser.create ~uppercase_tags:uppercase ~seed
             ~net_fallback:(fault_rate > 0.) ()
         in
+        Xqib.Browser.connect_obs b;
         if fault_rate > 0. then
           Http_sim.set_faults b.Xqib.Browser.http ~seed
             (Http_sim.uniform_faults ~rate:fault_rate);
@@ -152,7 +216,11 @@ let page_cmd =
         if render then begin
           print_endline "== rendered ==";
           print_endline (Xqib.Renderer.render doc)
-        end;
+        end
+        else if trace <> None then
+          (* a traced session should always show the full pipeline,
+             render included, even when the text output is not wanted *)
+          ignore (Xqib.Renderer.render doc);
         Printf.printf "(%d events dispatched, %d DOM mutations)\n"
           b.Xqib.Browser.events_dispatched b.Xqib.Browser.render_count;
         if fault_rate > 0. then begin
@@ -166,13 +234,14 @@ let page_cmd =
             (stats.Retry.timeouts + rs.Retry.timeouts)
             (stats.Retry.exhausted + rs.Retry.exhausted)
             (Rest.fallback_hits b.Xqib.Browser.rest)
-        end)
+        end;
+        obs_report ~trace ~metrics)
   in
   Cmd.v
     (Cmd.info "page" ~doc:"Load an (X)HTML page in the simulated browser")
     Term.(
       const run $ file $ clicks $ types $ show_doc $ render $ uppercase $ query
-      $ fault_rate $ seed)
+      $ fault_rate $ seed $ trace_arg $ metrics_arg)
 
 (* ---- migrate ---- *)
 

@@ -1,8 +1,12 @@
 #!/bin/sh
 # Tier-1 gate: build everything, run the full test suite, then a
 # bench smoke (tiny sizes/quotas) so bench code cannot bit-rot.
+# The T9 line additionally gates the observability layer: it fails if a
+# disabled run records anything, if the disabled-mode A/A delta exceeds
+# 2%, or if the exported trace JSON does not validate.
 set -eu
 cd "$(dirname "$0")"
 dune build @all
 dune runtest
 dune exec bench/main.exe -- --smoke > /dev/null
+dune exec bench/main.exe -- --smoke --only t9 --check --trace /tmp/xqib_trace.json > /dev/null

@@ -91,7 +91,11 @@ let clear_alerts t = t.alerts <- []
 let dispatch t ?(detail = []) ~target event_type =
   let t0 = Virtual_clock.now t.clock in
   t.events_dispatched <- t.events_dispatched + 1;
-  ignore (Dom_event.fire ~detail ~event_type ~target ());
+  if !Obs.Metrics.enabled then Obs.Metrics.incr "browser.events";
+  let fire () = ignore (Dom_event.fire ~detail ~event_type ~target ()) in
+  if !Obs.Trace.enabled then
+    Obs.Trace.with_span ~attrs:[ ("event", event_type) ] "browser.dispatch" fire
+  else fire ();
   t.ui_blocked <- t.ui_blocked +. (Virtual_clock.now t.clock -. t0)
 
 let click t node =
@@ -110,7 +114,15 @@ let type_text t node text =
         ~target:node "onkeyup")
     text
 
-let run t = Virtual_clock.run_until_idle t.clock
+let run t =
+  if !Obs.Trace.enabled then
+    Obs.Trace.with_span "browser.event-loop" (fun () ->
+        Virtual_clock.run_until_idle t.clock)
+  else Virtual_clock.run_until_idle t.clock
+
+(* give the observability layer the browser's notion of time, so span
+   durations line up with the deterministic event loop *)
+let connect_obs t = Obs.Trace.set_clock (fun () -> Virtual_clock.now t.clock)
 
 let host_for t window =
   let default = DC.default_host in

@@ -88,6 +88,10 @@ val type_text : t -> Dom.node -> string -> unit
 (** Run queued asynchronous work (e.g. [behind] calls) to completion. *)
 val run : t -> unit
 
+(** Point the observability layer's clock at this browser's virtual
+    clock, so span timestamps and durations are in virtual seconds. *)
+val connect_obs : t -> unit
+
 (** {1 The XQuery host for a window}
 
     Wires the paper's extension expressions to this browser: events to

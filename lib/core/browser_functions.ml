@@ -180,6 +180,43 @@ let install (b : Browser.t) (window : Windows.t) sctx =
   register "online" 0 (fun _ _ ->
       [ I.Atomic (Xdm_atomic.Boolean b.Browser.online) ]);
 
+  (* engine observability: a snapshot of the metrics registry as XML,
+     so page code and tests can introspect performance counters with
+     ordinary XPath (e.g. browser:stats()//counter[@name='eval.steps']) *)
+  register "stats" 0 (fun _ _ ->
+      let attr node name v = Dom.set_attribute node (Qname.make name) v in
+      let root = Dom.create_element (Qname.make "stats") in
+      attr root "virtual-time"
+        (Printf.sprintf "%.6f" (Virtual_clock.now b.Browser.clock));
+      attr root "metrics-enabled" (string_of_bool !Obs.Metrics.enabled);
+      attr root "trace-enabled" (string_of_bool !Obs.Trace.enabled);
+      let counters = Dom.create_element (Qname.make "counters") in
+      Dom.append_child ~parent:root counters;
+      List.iter
+        (fun (name, v) ->
+          let c = Dom.create_element (Qname.make "counter") in
+          attr c "name" name;
+          attr c "value" (string_of_int v);
+          Dom.append_child ~parent:counters c)
+        (Obs.Metrics.counters ());
+      let hists = Dom.create_element (Qname.make "histograms") in
+      Dom.append_child ~parent:root hists;
+      List.iter
+        (fun (name, h) ->
+          let e = Dom.create_element (Qname.make "histogram") in
+          attr e "name" name;
+          attr e "count" (string_of_int h.Obs.Metrics.count);
+          attr e "sum" (Printf.sprintf "%.9g" h.Obs.Metrics.sum);
+          attr e "min" (Printf.sprintf "%.9g" h.Obs.Metrics.min);
+          attr e "max" (Printf.sprintf "%.9g" h.Obs.Metrics.max);
+          Dom.append_child ~parent:hists e)
+        (Obs.Metrics.histograms ());
+      let spans = Dom.create_element (Qname.make "spans") in
+      attr spans "roots" (string_of_int (List.length (Obs.Trace.roots ())));
+      attr spans "dropped" (string_of_int (Obs.Trace.dropped ()));
+      Dom.append_child ~parent:root spans;
+      [ I.Node root ]);
+
   (* document write (the paper notes best practice is XDM updates) *)
   let body_of_document () =
     let doc = window.Windows.document in

@@ -119,8 +119,12 @@ let state_for b window =
   | Some st -> st
   | None -> fresh_state b window
 
+let traced ?attrs name f =
+  if !Obs.Trace.enabled then Obs.Trace.with_span ?attrs name f else f ()
+
 (* run one XQuery script source in the window's page context *)
 let run_xquery_source b window source =
+  traced "page.script" @@ fun () ->
   let st = state_for b window in
   let compiled = Xquery.Engine.compile ~static:st.static source in
   (* refresh globals declared by this script's prolog *)
@@ -139,6 +143,7 @@ let run_xquery_source b window source =
       | None -> ())
     (SC.global_variables st.static);
   let result =
+    traced "engine.eval" @@ fun () ->
     match compiled.Xquery.Engine.prog.Xquery.Ast.body with
     | Some body -> (
         try Xquery.Eval.protect (fun () -> Xquery.Eval.eval st.ctx body)
@@ -277,6 +282,7 @@ let run_script b window el =
         Logs.debug (fun m -> m "no script engine for %S; script skipped" ty)
 
 let rec load ?(options = default_options) ?window (b : Browser.t) html =
+  traced "page.load" @@ fun () ->
   let window = match window with Some w -> w | None -> b.Browser.top_window in
   (* navigations triggered from scripts re-enter the loader *)
   b.Browser.on_navigate <-
@@ -290,7 +296,10 @@ let rec load ?(options = default_options) ?window (b : Browser.t) html =
       Xml_parser.uppercase_tags = b.Browser.uppercase_tags;
     }
   in
-  let doc = Dom.of_tree (Xml_parser.parse ~options:parse_options html) in
+  let doc =
+    traced "page.parse-html" (fun () ->
+        Dom.of_tree (Xml_parser.parse ~options:parse_options html))
+  in
   Browser.set_document b window doc;
   let scripts = script_elements doc in
   let ordered =
@@ -306,6 +315,7 @@ let rec load ?(options = default_options) ?window (b : Browser.t) html =
   if options.run_inline_handlers then wire_inline_handlers b window
 
 and browse ?options ?window (b : Browser.t) uri =
+  traced ~attrs:[ ("uri", uri) ] "page.browse" @@ fun () ->
   let window = match window with Some w -> w | None -> b.Browser.top_window in
   Windows.navigate window uri;
   let resp = fetch_page b uri in

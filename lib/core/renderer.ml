@@ -155,6 +155,8 @@ and render_element st node =
         render_children st node
 
 let render ?(options = default_options) node =
+  if !Obs.Metrics.enabled then Obs.Metrics.incr "render.count";
+  let go () =
   let st = { out = Buffer.create 256; inline_words = []; opts = options } in
   render_node st node;
   flush_inline st;
@@ -168,6 +170,8 @@ let render ?(options = default_options) node =
   let text = String.concat "\n" (squeeze lines) in
   (* strip leading/trailing blank space produced by block flushing *)
   String.trim text
+  in
+  if !Obs.Trace.enabled then Obs.Trace.with_span "render" go else go ()
 
 let line_count ?options node =
   List.length (String.split_on_char '\n' (render ?options node))

@@ -180,7 +180,11 @@ let accel_of r =
    after the element and before its children, matching the path
    comparison (Attr_at sorts before Child_at). *)
 let ensure_keys r s =
-  if s.keys_gen <> s.gen then begin
+  if s.keys_gen = s.gen then begin
+    if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.accel.keys.hit"
+  end
+  else begin
+    if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.accel.keys.rebuild";
     Hashtbl.reset s.okeys;
     let next = ref 0 in
     let assign n =
@@ -197,7 +201,11 @@ let ensure_keys r s =
   end
 
 let ensure_indexes r s =
-  if s.idx_gen <> s.gen then begin
+  if s.idx_gen = s.gen then begin
+    if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.accel.index.hit"
+  end
+  else begin
+    if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.accel.index.rebuild";
     Hashtbl.reset s.by_id;
     Hashtbl.reset s.by_name;
     let add tbl k v =
@@ -327,10 +335,17 @@ let compare_order a b =
       let s = accel_of ra in
       ensure_keys ra s;
       match (Hashtbl.find_opt s.okeys a.nid, Hashtbl.find_opt s.okeys b.nid) with
-      | Some ka, Some kb -> Int.compare ka kb
-      | _ -> compare_paths a b
+      | Some ka, Some kb ->
+          if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.order.keyed";
+          Int.compare ka kb
+      | _ ->
+          if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.order.path";
+          compare_paths a b
     end
-    else compare_paths a b
+    else begin
+      if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.order.path";
+      compare_paths a b
+    end
 
 let order_key n =
   if not !acceleration then None
@@ -660,6 +675,7 @@ let rec scan_element_by_id n idv =
 
 let get_element_by_id n idv =
   if !acceleration then begin
+    if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.lookup.by-id";
     let r = root n in
     let s = accel_of r in
     ensure_indexes r s;
@@ -669,17 +685,22 @@ let get_element_by_id n idv =
         if n == r then Some first
         else List.find_opt (fun c -> in_subtree ~top:n c) bucket
   end
-  else scan_element_by_id n idv
+  else begin
+    if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.lookup.by-id.naive";
+    scan_element_by_id n idv
+  end
 
 let get_elements_by_local_name n local =
   if !acceleration then begin
+    if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.lookup.by-name";
     let r = root n in
     let s = accel_of r in
     ensure_indexes r s;
     let bucket = Option.value ~default:[] (Hashtbl.find_opt s.by_name local) in
     if n == r then bucket else List.filter (fun c -> in_subtree ~top:n c) bucket
   end
-  else
+  else begin
+    if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.lookup.by-name.naive";
     let candidates =
       match n.nkind with P_element _ -> n :: descendants n | _ -> descendants n
     in
@@ -689,3 +710,4 @@ let get_elements_by_local_name n local =
         | P_element e -> String.equal e.ename.Qname.local local
         | _ -> false)
       candidates
+  end

@@ -96,6 +96,16 @@ let register_doc t ~uri ?(content_type = "application/xml") body =
 let bump table key delta =
   Hashtbl.replace table key (delta + Option.value ~default:0 (Hashtbl.find_opt table key))
 
+let fault_metric = function
+  | Drop -> "net.fault.drop"
+  | Http_5xx -> "net.fault.http-5xx"
+  | Corrupt_body -> "net.fault.corrupt-body"
+  | Extra_delay -> "net.fault.extra-delay"
+
+let bump_fault t kind =
+  bump t.fault_counts kind 1;
+  if !Obs.Metrics.enabled then Obs.Metrics.incr (fault_metric kind)
+
 let set_faults t ?host ~seed spec =
   let state = { spec; prng = Prng.create ~seed } in
   match host with
@@ -148,17 +158,17 @@ let serve_faulted t ~meth ~body uri =
       let extra =
         match fs with
         | Some s when draw s s.spec.extra_delay ->
-            bump t.fault_counts Extra_delay 1;
+            bump_fault t Extra_delay;
             s.spec.extra_delay_s
         | _ -> 0.
       in
       let resp =
         match fs with
         | Some s when draw s s.spec.drop ->
-            bump t.fault_counts Drop 1;
+            bump_fault t Drop;
             dropped_response
         | Some s when draw s s.spec.http_5xx ->
-            bump t.fault_counts Http_5xx 1;
+            bump_fault t Http_5xx;
             unavailable_response
         | _ -> (
             match Hashtbl.find_opt t.handlers host with
@@ -167,7 +177,7 @@ let serve_faulted t ~meth ~body uri =
                 let resp = handler { meth; uri; path; body } in
                 match fs with
                 | Some s when resp.status = 200 && draw s s.spec.corrupt_body ->
-                    bump t.fault_counts Corrupt_body 1;
+                    bump_fault t Corrupt_body;
                     corrupt_response resp
                 | _ -> resp))
       in
@@ -180,13 +190,27 @@ let round_trip_latency t resp =
   +. (t.latency.per_kb *. (float_of_int (String.length resp.body) /. 1024.))
 
 let serve t ?(meth = Get) ?body uri =
-  let resp, extra = serve_faulted t ~meth ~body uri in
-  (* a dropped connection fails fast (connection reset after the base
-     round trip); everything else pays the size-dependent model *)
-  let latency =
-    (if resp.status = 0 then t.latency.base else round_trip_latency t resp) +. extra
+  let go () =
+    let resp, extra = serve_faulted t ~meth ~body uri in
+    (* a dropped connection fails fast (connection reset after the base
+       round trip); everything else pays the size-dependent model *)
+    let latency =
+      (if resp.status = 0 then t.latency.base else round_trip_latency t resp) +. extra
+    in
+    if !Obs.Metrics.enabled then begin
+      Obs.Metrics.incr "net.requests";
+      Obs.Metrics.incr ~by:(String.length resp.body) "net.bytes";
+      Obs.Metrics.observe "net.latency_s" latency
+    end;
+    (resp, latency)
   in
-  (resp, latency)
+  if !Obs.Trace.enabled then
+    Obs.Trace.with_span ~attrs:[ ("uri", uri) ] "net.request" (fun () ->
+        let ((resp, latency) as r) = go () in
+        Obs.Trace.add_attr "status" (string_of_int resp.status);
+        Obs.Trace.add_attr "latency_s" (Printf.sprintf "%.4f" latency);
+        r)
+  else go ()
 
 let fetch t ?(meth = Get) ?body uri =
   let resp, latency = serve t ~meth ?body uri in

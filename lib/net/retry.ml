@@ -61,6 +61,10 @@ let backoff_total policy ~attempts =
 let fetch_check ?(policy = default) ?prng ?stats ~check http ?meth ?body uri =
   let clock = Http_sim.clock http in
   let record f = match stats with Some s -> f s | None -> () in
+  (* mirror the per-call [stats] record into the global metrics
+     registry, so `browser:stats()` and --metrics see retry behaviour
+     without threading a stats value everywhere *)
+  let metric name = if !Obs.Metrics.enabled then Obs.Metrics.incr name in
   let jittered delay =
     match prng with
     | Some p when policy.jitter > 0. && delay > 0. ->
@@ -69,6 +73,7 @@ let fetch_check ?(policy = default) ?prng ?stats ~check http ?meth ?body uri =
   in
   let rec attempt k =
     record (fun s -> s.attempts <- s.attempts + 1);
+    metric "retry.attempts";
     let resp, latency = Http_sim.serve http ?meth ?body uri in
     let resp =
       match policy.attempt_timeout with
@@ -76,6 +81,7 @@ let fetch_check ?(policy = default) ?prng ?stats ~check http ?meth ?body uri =
           (* the caller waited exactly until the deadline, then gave up *)
           Virtual_clock.sleep clock deadline;
           record (fun s -> s.timeouts <- s.timeouts + 1);
+          metric "retry.timeouts";
           timeout_response
       | _ ->
           Virtual_clock.sleep clock latency;
@@ -90,20 +96,34 @@ let fetch_check ?(policy = default) ?prng ?stats ~check http ?meth ?body uri =
     match verdict with
     | `Ok v ->
         record (fun s -> s.successes <- s.successes + 1);
+        metric "retry.successes";
         Ok v
     | `Permanent resp -> Error resp
     | `Transient resp ->
         if k >= policy.max_attempts then begin
           record (fun s -> s.exhausted <- s.exhausted + 1);
+          metric "retry.exhausted";
           Error resp
         end
         else begin
           record (fun s -> s.retries <- s.retries + 1);
-          Virtual_clock.sleep clock (Float.max 0. (jittered (backoff policy ~attempt:k)));
+          metric "retry.retries";
+          let wait = Float.max 0. (jittered (backoff policy ~attempt:k)) in
+          if !Obs.Metrics.enabled then Obs.Metrics.observe "retry.backoff_s" wait;
+          Virtual_clock.sleep clock wait;
           attempt (k + 1)
         end
   in
-  attempt 1
+  if !Obs.Trace.enabled then
+    Obs.Trace.with_span ~attrs:[ ("uri", uri) ] "net.fetch" (fun () ->
+        let r = attempt 1 in
+        (match r with
+        | Ok _ -> Obs.Trace.add_attr "outcome" "ok"
+        | Error resp ->
+            Obs.Trace.add_attr "outcome"
+              (Printf.sprintf "failed:%d" resp.Http_sim.status));
+        r)
+  else attempt 1
 
 let fetch ?policy ?prng ?stats http ?meth ?body uri =
   match

@@ -39,6 +39,10 @@ let run_next t =
   | [] -> false
   | task :: rest ->
       t.queue <- rest;
+      if !Obs.Metrics.enabled then begin
+        Obs.Metrics.incr "clock.tasks";
+        Obs.Metrics.observe "clock.task-lag_s" (Float.max 0. (task.fire_at -. t.time))
+      end;
       t.time <- Float.max t.time task.fire_at;
       task.run ();
       true

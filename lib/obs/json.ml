@@ -1,0 +1,135 @@
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let number f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+(* ---------------- validating parser ---------------- *)
+
+exception Bad of int * string
+
+let validate s =
+  let n = String.length s in
+  let fail i msg = raise (Bad (i, msg)) in
+  let rec skip_ws i =
+    if i < n && (s.[i] = ' ' || s.[i] = '\t' || s.[i] = '\n' || s.[i] = '\r')
+    then skip_ws (i + 1)
+    else i
+  in
+  let expect i c =
+    if i < n && s.[i] = c then i + 1
+    else fail i (Printf.sprintf "expected %c" c)
+  in
+  let rec value i =
+    let i = skip_ws i in
+    if i >= n then fail i "unexpected end of input"
+    else
+      match s.[i] with
+      | '{' -> obj (i + 1)
+      | '[' -> arr (i + 1)
+      | '"' -> string_lit (i + 1)
+      | 't' -> literal i "true"
+      | 'f' -> literal i "false"
+      | 'n' -> literal i "null"
+      | '-' | '0' .. '9' -> number_lit i
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  and literal i lit =
+    let m = String.length lit in
+    if i + m <= n && String.sub s i m = lit then i + m
+    else fail i ("bad literal, expected " ^ lit)
+  and string_lit i =
+    (* i points just after the opening quote *)
+    if i >= n then fail i "unterminated string"
+    else
+      match s.[i] with
+      | '"' -> i + 1
+      | '\\' ->
+          if i + 1 >= n then fail i "unterminated escape"
+          else (
+            match s.[i + 1] with
+            | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' ->
+                string_lit (i + 2)
+            | 'u' ->
+                if i + 5 >= n then fail i "short \\u escape"
+                else begin
+                  String.iter
+                    (function
+                      | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                      | _ -> fail i "bad \\u escape")
+                    (String.sub s (i + 2) 4);
+                  string_lit (i + 6)
+                end
+            | _ -> fail i "bad escape")
+      | c when Char.code c < 0x20 -> fail i "control character in string"
+      | _ -> string_lit (i + 1)
+  and number_lit i =
+    let j = if s.[i] = '-' then i + 1 else i in
+    let digits k =
+      let k' = ref k in
+      while !k' < n && s.[!k'] >= '0' && s.[!k'] <= '9' do incr k' done;
+      if !k' = k then fail k "expected digit" else !k'
+    in
+    (* RFC 8259: the integer part is 0, or a nonzero digit followed by
+       more digits — no leading zeros *)
+    let j' = digits j in
+    if s.[j] = '0' && j' > j + 1 then fail j "leading zero";
+    let j = j' in
+    let j = if j < n && s.[j] = '.' then digits (j + 1) else j in
+    if j < n && (s.[j] = 'e' || s.[j] = 'E') then
+      let j = j + 1 in
+      let j = if j < n && (s.[j] = '+' || s.[j] = '-') then j + 1 else j in
+      digits j
+    else j
+  and obj i =
+    let i = skip_ws i in
+    if i < n && s.[i] = '}' then i + 1
+    else
+      let rec members i =
+        let i = skip_ws i in
+        let i = expect i '"' in
+        let i = string_lit i in
+        let i = skip_ws i in
+        let i = expect i ':' in
+        let i = value i in
+        let i = skip_ws i in
+        if i < n && s.[i] = ',' then members (i + 1)
+        else expect i '}'
+      in
+      members i
+  and arr i =
+    let i = skip_ws i in
+    if i < n && s.[i] = ']' then i + 1
+    else
+      let rec elements i =
+        let i = value i in
+        let i = skip_ws i in
+        if i < n && s.[i] = ',' then elements (i + 1)
+        else expect i ']'
+      in
+      elements i
+  in
+  match
+    let i = value 0 in
+    let i = skip_ws i in
+    if i <> n then fail i "trailing garbage after JSON value"
+  with
+  | () -> Ok ()
+  | exception Bad (i, msg) ->
+      Error (Printf.sprintf "invalid JSON at byte %d: %s" i msg)

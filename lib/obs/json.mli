@@ -1,0 +1,20 @@
+(** Minimal JSON support for the observability exporters.
+
+    The emitters in {!Trace} and {!Metrics} print JSON by hand; this
+    module supplies the string escaping they share and an independent
+    validating parser, so the CI gate can check an exported trace for
+    well-formedness without pulling in a JSON dependency. *)
+
+(** Render a string as a quoted JSON string literal (escaping quotes,
+    backslashes and control characters; bytes >= 0x80 pass through,
+    which is correct for UTF-8 payloads). *)
+val quote : string -> string
+
+(** Render a float as a JSON number ([null] for nan/infinities, which
+    JSON cannot represent). *)
+val number : float -> string
+
+(** Parse the whole input as one JSON value. Returns [Error msg] (with
+    a byte offset in the message) on the first syntax error, or if
+    trailing garbage follows the value. *)
+val validate : string -> (unit, string) result

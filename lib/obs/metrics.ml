@@ -1,0 +1,111 @@
+let enabled = ref false
+let set_enabled b = enabled := b
+
+let bucket_bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100. |]
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : int array;
+}
+
+type hacc = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+let counter_table : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let histo_table : (string, hacc) Hashtbl.t = Hashtbl.create 16
+
+let incr ?(by = 1) name =
+  if !enabled then
+    match Hashtbl.find_opt counter_table name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add counter_table name (ref by)
+
+let observe name v =
+  if !enabled then begin
+    let h =
+      match Hashtbl.find_opt histo_table name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_count = 0;
+              h_sum = 0.;
+              h_min = Float.infinity;
+              h_max = Float.neg_infinity;
+              h_buckets = Array.make (Array.length bucket_bounds + 1) 0;
+            }
+          in
+          Hashtbl.add histo_table name h;
+          h
+    in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let rec slot i =
+      if i >= Array.length bucket_bounds then i
+      else if v <= bucket_bounds.(i) then i
+      else slot (i + 1)
+    in
+    let i = slot 0 in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  end
+
+let counter name =
+  match Hashtbl.find_opt counter_table name with Some r -> !r | None -> 0
+
+let sorted_bindings table =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters () =
+  List.map (fun (k, r) -> (k, !r)) (sorted_bindings counter_table)
+
+let freeze h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    buckets = Array.copy h.h_buckets;
+  }
+
+let histograms () =
+  List.map (fun (k, h) -> (k, freeze h)) (sorted_bindings histo_table)
+
+let reset () =
+  Hashtbl.reset counter_table;
+  Hashtbl.reset histo_table
+
+let to_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"counters\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Json.quote k);
+      Buffer.add_string buf (Printf.sprintf ": %d" v))
+    (counters ());
+  Buffer.add_string buf "}, \"histograms\": {";
+  List.iteri
+    (fun i (k, h) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Json.quote k);
+      Buffer.add_string buf
+        (Printf.sprintf
+           ": {\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"buckets\": [%s]}"
+           h.count (Json.number h.sum)
+           (Json.number (if h.count = 0 then 0. else h.min))
+           (Json.number (if h.count = 0 then 0. else h.max))
+           (String.concat ", " (List.map string_of_int (Array.to_list h.buckets)))))
+    (histograms ());
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

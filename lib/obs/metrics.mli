@@ -1,0 +1,47 @@
+(** Monotonic counters and summary histograms.
+
+    A process-wide registry keyed by metric name (dotted taxonomy, e.g.
+    ["eval.step.child"], ["retry.backoff_s"]). Like {!Trace}, the
+    registry is guarded by an {!enabled} flag and records nothing when
+    disabled; hot paths should test [!enabled] before building metric
+    names dynamically. *)
+
+val enabled : bool ref
+val set_enabled : bool -> unit
+
+(** Add [by] (default 1) to a counter. No-op when disabled. *)
+val incr : ?by:int -> string -> unit
+
+(** Record one observation into a histogram. No-op when disabled. *)
+val observe : string -> float -> unit
+
+(** A histogram summary. [buckets.(i)] counts observations [<=
+    bucket_bounds.(i)]; the final cell counts the overflow. *)
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : int array;
+}
+
+(** Upper bounds of the histogram buckets, in seconds-flavoured powers
+    of ten from 1e-6 to 100; [Array.length bucket_bounds + 1] cells per
+    histogram. *)
+val bucket_bounds : float array
+
+(** Current value of a counter (0 if never bumped). *)
+val counter : string -> int
+
+(** All counters, sorted by name. *)
+val counters : unit -> (string * int) list
+
+(** All histograms, sorted by name. *)
+val histograms : unit -> (string * histogram) list
+
+(** Drop every counter and histogram (the enabled flag is untouched). *)
+val reset : unit -> unit
+
+(** The whole registry as a JSON document:
+    [{"counters": {...}, "histograms": {...}}]. *)
+val to_json : unit -> string

@@ -1,0 +1,54 @@
+type t = {
+  name : string;
+  attrs : (string * string) list;
+  start_v : float;
+  dur_v : float;
+  cpu_ms : float;
+  children : t list;
+}
+
+let rec count s = List.fold_left (fun acc c -> acc + count c) 1 s.children
+
+let rec find ~name s =
+  if String.equal s.name name then Some s
+  else List.find_map (find ~name) s.children
+
+let rec names s = s.name :: List.concat_map names s.children
+
+let rec to_json buf s =
+  Buffer.add_string buf "{\"name\": ";
+  Buffer.add_string buf (Json.quote s.name);
+  Buffer.add_string buf (Printf.sprintf ", \"start\": %s" (Json.number s.start_v));
+  Buffer.add_string buf (Printf.sprintf ", \"dur\": %s" (Json.number s.dur_v));
+  Buffer.add_string buf (Printf.sprintf ", \"cpu_ms\": %s" (Json.number s.cpu_ms));
+  if s.attrs <> [] then begin
+    Buffer.add_string buf ", \"attrs\": {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Json.quote k);
+        Buffer.add_string buf ": ";
+        Buffer.add_string buf (Json.quote v))
+      s.attrs;
+    Buffer.add_char buf '}'
+  end;
+  if s.children <> [] then begin
+    Buffer.add_string buf ", \"children\": [";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf ", ";
+        to_json buf c)
+      s.children;
+    Buffer.add_char buf ']'
+  end;
+  Buffer.add_char buf '}'
+
+let pp ppf span =
+  let rec go indent s =
+    Format.fprintf ppf "%s%s  start=%.6fs dur=%.6fs cpu=%.3fms" indent s.name
+      s.start_v s.dur_v s.cpu_ms;
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) s.attrs;
+    Format.pp_print_newline ppf ();
+    List.iter (go (indent ^ "  ")) s.children
+  in
+  go "" span

@@ -1,0 +1,33 @@
+(** A finished span: one timed region of the engine's processing
+    pipeline, with its child spans.
+
+    Spans are created through {!Trace.with_span}; this module is the
+    passive representation used by sinks and tests. Times are virtual
+    seconds from the trace clock (see {!Trace.set_clock}), so a span
+    tree lines up with the deterministic Virtual_clock timeline;
+    [cpu_ms] additionally records processor time for profiling. *)
+
+type t = {
+  name : string;  (** taxonomy name, e.g. ["engine.compile"] *)
+  attrs : (string * string) list;  (** in insertion order *)
+  start_v : float;  (** virtual-clock seconds at entry *)
+  dur_v : float;  (** virtual-clock seconds spent inside *)
+  cpu_ms : float;  (** processor milliseconds spent inside *)
+  children : t list;  (** completed sub-spans, oldest first *)
+}
+
+(** Total number of spans in the tree, the root included. *)
+val count : t -> int
+
+(** Depth-first search for the first span with this name. *)
+val find : name:string -> t -> t option
+
+(** All span names in the tree, preorder. *)
+val names : t -> string list
+
+(** Append the span tree as a JSON object to [buf]. *)
+val to_json : Buffer.t -> t -> unit
+
+(** Render a span tree as an indented one-line-per-span listing, for
+    human consumption ([--trace] to a terminal). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+let enabled = ref false
+let set_enabled b = enabled := b
+
+let clock = ref (fun () -> 0.)
+let set_clock f = clock := f
+
+(* ---------------- ring-buffer sink ---------------- *)
+
+let capacity = ref 1024
+let sink : Span.t Queue.t = Queue.create ()
+let dropped_count = ref 0
+
+let set_capacity n =
+  capacity := max 1 n;
+  while Queue.length sink > !capacity do
+    ignore (Queue.pop sink);
+    incr dropped_count
+  done
+
+let record_root span =
+  Queue.push span sink;
+  if Queue.length sink > !capacity then begin
+    ignore (Queue.pop sink);
+    incr dropped_count
+  end
+
+let roots () = List.of_seq (Queue.to_seq sink)
+let dropped () = !dropped_count
+
+let reset () =
+  Queue.clear sink;
+  dropped_count := 0
+
+(* ---------------- open-span stack ---------------- *)
+
+type frame = {
+  f_name : string;
+  mutable f_attrs : (string * string) list;  (* reversed *)
+  f_start_v : float;
+  f_start_cpu : float;
+  mutable f_children : Span.t list;  (* reversed *)
+}
+
+let stack : frame list ref = ref []
+
+let add_attr k v =
+  if !enabled then
+    match !stack with
+    | [] -> ()
+    | f :: _ -> f.f_attrs <- (k, v) :: f.f_attrs
+
+let open_span name attrs =
+  let f =
+    {
+      f_name = name;
+      f_attrs = List.rev attrs;
+      f_start_v = !clock ();
+      f_start_cpu = Sys.time ();
+      f_children = [];
+    }
+  in
+  stack := f :: !stack
+
+let close_span () =
+  match !stack with
+  | [] -> ()
+  | f :: rest ->
+      stack := rest;
+      let span =
+        {
+          Span.name = f.f_name;
+          attrs = List.rev f.f_attrs;
+          start_v = f.f_start_v;
+          dur_v = !clock () -. f.f_start_v;
+          cpu_ms = (Sys.time () -. f.f_start_cpu) *. 1000.;
+          children = List.rev f.f_children;
+        }
+      in
+      (match rest with
+      | [] -> record_root span
+      | parent :: _ -> parent.f_children <- span :: parent.f_children)
+
+let with_span ?(attrs = []) name f =
+  if not !enabled then f ()
+  else begin
+    open_span name attrs;
+    match f () with
+    | v ->
+        close_span ();
+        v
+    | exception exn ->
+        add_attr "error" (Printexc.to_string exn);
+        close_span ();
+        raise exn
+  end
+
+(* ---------------- export ---------------- *)
+
+let export_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"version\": 1, \"dropped\": %d, \"spans\": [" !dropped_count);
+  Queue.iter
+    (fun s ->
+      if Buffer.nth buf (Buffer.length buf - 1) <> '[' then
+        Buffer.add_string buf ", ";
+      Span.to_json buf s)
+    sink;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** Hierarchical tracing of the engine pipeline.
+
+    The engine's processing path (event loop -> compile -> evaluate ->
+    apply PUL -> render, the paper's Fig. 1) is annotated with
+    {!with_span} hooks. When tracing is {!enabled}, each hook records a
+    {!Span.t} stamped with the virtual clock (see {!set_clock});
+    completed root spans land in a bounded ring-buffer sink that can be
+    exported as JSON.
+
+    Zero-cost discipline: every hook is guarded by the [enabled] flag.
+    When disabled (the default), [with_span] runs its thunk directly
+    and records nothing — the only residue is a flag load and branch,
+    bounded by bench T9. Callers that would allocate attribute lists
+    should test [!enabled] themselves before building them. *)
+
+(** The master switch. Exposed as a [ref] so hot paths can guard with a
+    plain dereference. *)
+val enabled : bool ref
+
+val set_enabled : bool -> unit
+
+(** Source of virtual time for span stamps. Defaults to a constant 0.;
+    hosts install their [Virtual_clock] (e.g.
+    [Trace.set_clock (fun () -> Virtual_clock.now clock)]). *)
+val set_clock : (unit -> float) -> unit
+
+(** Capacity of the ring-buffer sink, in root spans (default 1024).
+    When full, the oldest root span is dropped and counted. *)
+val set_capacity : int -> unit
+
+(** [with_span name f] runs [f] inside a span named [name]. Nested
+    calls build the span tree; the span is closed (and recorded) even
+    if [f] raises, with an ["error"] attribute added. When tracing is
+    disabled this is just [f ()]. *)
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span, if any. No-op when
+    tracing is disabled or outside any span. *)
+val add_attr : string -> string -> unit
+
+(** Completed root spans currently in the sink, oldest first. *)
+val roots : unit -> Span.t list
+
+(** Root spans dropped because the sink was full. *)
+val dropped : unit -> int
+
+(** Drop all recorded spans (the enabled flag is untouched). *)
+val reset : unit -> unit
+
+(** The sink as a JSON document:
+    [{"version": 1, "dropped": N, "spans": [...]}]. *)
+val export_json : unit -> string

@@ -31,9 +31,18 @@ let load_module sctx ~uri ~locations =
 let () = Parser.module_loader := load_module
 
 let compile ?(optimize = true) ?static source =
+  let traced name f =
+    if !Obs.Trace.enabled then Obs.Trace.with_span name f else f ()
+  in
+  traced "engine.compile" @@ fun () ->
   let static = match static with Some s -> s | None -> default_static () in
-  let prog = Parser.parse_program static source in
-  let prog = if optimize then Optimizer.optimize prog else prog in
+  let prog =
+    traced "engine.parse" (fun () -> Parser.parse_program static source)
+  in
+  let prog =
+    if optimize then traced "engine.optimize" (fun () -> Optimizer.optimize prog)
+    else prog
+  in
   (* re-register optimized function bodies *)
   if optimize then
     List.iter
@@ -41,6 +50,8 @@ let compile ?(optimize = true) ?static source =
         | Ast.P_function f -> Static_context.declare_function static f
         | _ -> ())
       prog.Ast.prolog;
+  if !Obs.Metrics.enabled then
+    Obs.Metrics.incr ~by:(String.length source) "engine.source-bytes";
   { prog; static }
 
 let context_for ?host ?context_item ?(bindings = []) compiled =
@@ -82,8 +93,15 @@ let eval_body ctx compiled =
             "break/continue outside of a while loop")
 
 let run ?host ?context_item ?bindings compiled =
-  let ctx = context_for ?host ?context_item ?bindings compiled in
-  let result = eval_body ctx compiled in
+  let traced name f =
+    if !Obs.Trace.enabled then Obs.Trace.with_span name f else f ()
+  in
+  traced "engine.run" @@ fun () ->
+  let ctx =
+    traced "engine.context" (fun () ->
+        context_for ?host ?context_item ?bindings compiled)
+  in
+  let result = traced "engine.eval" (fun () -> eval_body ctx compiled) in
   Pul.apply ctx.Dynamic_context.pul;
   result
 

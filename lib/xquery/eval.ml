@@ -121,12 +121,32 @@ let node_test_matches ~axis (test : Ast.node_test) node =
       | Some n -> Qname.equal n qn
       | None -> false)
 
+(* constant strings so the disabled path never allocates a metric name *)
+let axis_metric = function
+  | Ast.Child -> "eval.axis.child"
+  | Ast.Descendant -> "eval.axis.descendant"
+  | Ast.Attribute_axis -> "eval.axis.attribute"
+  | Ast.Self -> "eval.axis.self"
+  | Ast.Descendant_or_self -> "eval.axis.descendant-or-self"
+  | Ast.Following_sibling -> "eval.axis.following-sibling"
+  | Ast.Preceding_sibling -> "eval.axis.preceding-sibling"
+  | Ast.Following -> "eval.axis.following"
+  | Ast.Preceding -> "eval.axis.preceding"
+  | Ast.Parent -> "eval.axis.parent"
+  | Ast.Ancestor -> "eval.axis.ancestor"
+  | Ast.Ancestor_or_self -> "eval.axis.ancestor-or-self"
+
 (* Nodes selected by one axis step. descendant::name and
    descendant-or-self::name (what the optimizer rewrites //name into)
    resolve through the per-document local-name index instead of
    filtering the materialised descendant list. *)
 let step_nodes axis (test : Ast.node_test) n =
+  if !Obs.Metrics.enabled then begin
+    Obs.Metrics.incr "eval.steps";
+    Obs.Metrics.incr (axis_metric axis)
+  end;
   let by_local local refine =
+    if !Obs.Metrics.enabled then Obs.Metrics.incr "eval.step.desc-index";
     let hits = Dom.get_elements_by_local_name n local in
     let hits =
       match refine with None -> hits | Some f -> List.filter f hits
@@ -848,9 +868,16 @@ and call_function ctx qn args =
   if Static_context.is_blocked ctx.D.static qn then
     err Xq_error.security "function %s is blocked in this context (browser security policy)"
       (Qname.to_string qn);
+  let count kind =
+    if !Obs.Metrics.enabled then begin
+      Obs.Metrics.incr "eval.calls";
+      Obs.Metrics.incr kind
+    end
+  in
   (* xs: constructor functions are casts *)
   match qn.Qname.uri with
   | Some u when String.equal u Qname.Ns.xs && arity = 1 -> (
+      count "eval.calls.constructor";
       match A.type_of_name qn.Qname.local with
       | Some ty -> (
           match I.atomize (List.hd args) with
@@ -862,13 +889,19 @@ and call_function ctx qn args =
             qn.Qname.local)
   | _ -> (
       match Static_context.find_function ctx.D.static qn ~arity with
-      | Some decl -> call_user_function ctx decl args
+      | Some decl ->
+          count "eval.calls.user";
+          call_user_function ctx decl args
       | None -> (
           match Static_context.find_external ctx.D.static qn ~arity with
-          | Some f -> f (build_call_ctx ctx) args
+          | Some f ->
+              count "eval.calls.external";
+              f (build_call_ctx ctx) args
           | None -> (
               match Functions.find qn ~arity with
-              | Some f -> guard (fun () -> f (build_call_ctx ctx) args)
+              | Some f ->
+                  count "eval.calls.builtin";
+                  guard (fun () -> f (build_call_ctx ctx) args)
               | None ->
                   err Xq_error.unknown_function
                     "unknown function %s#%d" (Qname.to_string qn) arity)))

@@ -86,6 +86,42 @@ let bool1 b = [ I.Atomic (A.Boolean b) ]
 let int1 i = [ I.Atomic (A.Integer i) ]
 let str1 s = [ I.Atomic (A.String s) ]
 
+(* ---- code-point helpers ----
+
+   fn:string-length counts code points, so every positional string
+   function must too (F&O §7.4), or substring(s, string-length(s))
+   stops agreeing with itself on multi-byte input. *)
+
+(* Lenient decode: malformed UTF-8 degrades to per-byte code points
+   (a Latin-1 reading) instead of raising, so a corrupted string — we
+   inject those deliberately via Corrupt_body faults — can never abort
+   evaluation from inside a string builtin. *)
+let code_points_lenient s =
+  try Xml_escape.code_points s
+  with Failure _ -> List.init (String.length s) (fun i -> Char.code s.[i])
+
+let string_of_code_points cps =
+  let buf = Buffer.create 16 in
+  List.iter (fun cp -> Buffer.add_string buf (Xml_escape.utf8_of_code_point cp)) cps;
+  Buffer.contents buf
+
+(* One-to-one case mappings for ASCII and the Latin-1 supplement:
+   U+00C0–U+00DE ↔ U+00E0–U+00FE differ by 0x20, except U+00D7 (×) and
+   U+00F7 (÷) which are caseless; U+00FF (ÿ) uppercases outside the
+   block to U+0178 (Ÿ). One-to-many mappings (ß → SS) and the rest of
+   Unicode are out of scope — see DESIGN.md. *)
+let upper_cp cp =
+  if cp >= 0x61 && cp <= 0x7A then cp - 0x20
+  else if cp >= 0xE0 && cp <= 0xFE && cp <> 0xF7 then cp - 0x20
+  else if cp = 0xFF then 0x178
+  else cp
+
+let lower_cp cp =
+  if cp >= 0x41 && cp <= 0x5A then cp + 0x20
+  else if cp >= 0xC0 && cp <= 0xDE && cp <> 0xD7 then cp + 0x20
+  else if cp = 0x178 then 0xFF
+  else cp
+
 (* regex: translate XML Schema regex-isms we care about to Str syntax *)
 let compile_regex pattern flags =
   let case_insensitive = String.contains flags 'i' in
@@ -233,18 +269,20 @@ let () =
         | Some l -> I.item_number (I.Atomic (I.singleton_atomic l))
         | None -> Float.infinity
       in
-      (* XPath 1-based rounding semantics *)
-      let n = String.length s in
+      (* XPath 1-based rounding semantics; positions are measured in
+         code points, not bytes, to agree with fn:string-length *)
       let from = Float.floor (start +. 0.5) in
       let upto =
         if len = Float.infinity then Float.infinity
         else from +. Float.floor (len +. 0.5)
       in
-      let buf = Buffer.create n in
-      for i = 1 to n do
-        let fi = float_of_int i in
-        if fi >= from && fi < upto then Buffer.add_char buf s.[i - 1]
-      done;
+      let buf = Buffer.create (String.length s) in
+      List.iteri
+        (fun i cp ->
+          let fi = float_of_int (i + 1) in
+          if fi >= from && fi < upto then
+            Buffer.add_string buf (Xml_escape.utf8_of_code_point cp))
+        (code_points_lenient s);
       str1 (Buffer.contents buf));
   fn ~local:"string-length" ~min_arity:0 ~max_arity:1 (fun cctx args ->
       let s =
@@ -267,20 +305,44 @@ let () =
         |> List.filter (fun w -> w <> "")
       in
       str1 (String.concat " " words));
-  fn ~local:"upper-case" (fun _ args -> str1 (String.uppercase_ascii (req_string (arg 0 args))));
-  fn ~local:"lower-case" (fun _ args -> str1 (String.lowercase_ascii (req_string (arg 0 args))));
+  fn ~local:"upper-case" (fun _ args ->
+      str1
+        (string_of_code_points
+           (List.map upper_cp (code_points_lenient (req_string (arg 0 args))))));
+  fn ~local:"lower-case" (fun _ args ->
+      str1
+        (string_of_code_points
+           (List.map lower_cp (code_points_lenient (req_string (arg 0 args))))));
   fn ~local:"translate" ~min_arity:3 (fun _ args ->
       let s = req_string (arg 0 args) in
-      let from = req_string (arg 1 args) in
-      let into = req_string (arg 2 args) in
+      let from = code_points_lenient (req_string (arg 1 args)) in
+      let into = Array.of_list (code_points_lenient (req_string (arg 2 args))) in
+      (* per-code-point mapping: the first occurrence in $mapString
+         wins, and a map entry past the end of $transString deletes *)
+      let index_of cp =
+        let rec go i = function
+          | [] -> None
+          | c :: rest -> if c = cp then Some i else go (i + 1) rest
+        in
+        go 0 from
+      in
       let buf = Buffer.create (String.length s) in
-      String.iter
-        (fun c ->
-          match String.index_opt from c with
-          | None -> Buffer.add_char buf c
-          | Some i -> if i < String.length into then Buffer.add_char buf into.[i])
-        s;
+      List.iter
+        (fun cp ->
+          match index_of cp with
+          | None -> Buffer.add_string buf (Xml_escape.utf8_of_code_point cp)
+          | Some i ->
+              if i < Array.length into then
+                Buffer.add_string buf (Xml_escape.utf8_of_code_point into.(i)))
+        (code_points_lenient s);
       str1 (Buffer.contents buf));
+  (* contains / starts-with / ends-with / substring-before/-after scan
+     bytes, which is sound for UTF-8: the encoding is self-synchronizing
+     (lead and continuation bytes occupy disjoint ranges), so a valid
+     needle can only match at a code-point boundary of a valid haystack,
+     and the byte offsets sliced at below are therefore boundaries too.
+     Only the *positional* functions (substring, translate, string-length)
+     need explicit code-point arithmetic. *)
   fn ~local:"contains" ~min_arity:2 (fun _ args ->
       let s = req_string (arg 0 args) and sub = req_string (arg 1 args) in
       let n = String.length s and m = String.length sub in

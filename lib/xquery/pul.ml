@@ -44,10 +44,29 @@ let check_conflicts prims =
           ())
     prims
 
+(* Application phases, audited against XQUF 1.0 §3.2.2
+   upd:applyUpdates, which applies primitives in the order:
+     (a) upd:insertInto, upd:insertAttributes, upd:replaceValue,
+         upd:rename;
+     (b) upd:insertBefore, upd:insertAfter, upd:insertIntoAsFirst,
+         upd:insertIntoAsLast;
+     (c) upd:replaceNode;
+     (d) upd:replaceElementContent;
+     (e) upd:delete;  (f) upd:put.
+   Order within a phase is implementation-dependent; we use PUL order.
+
+   Deliberate deviation: our Replace_value covers both upd:replaceValue
+   (attributes/text, spec phase a) and upd:replaceElementContent
+   (elements, spec phase d) with one primitive. We apply it in the
+   earliest phase and run upd:insertInto with the positional inserts in
+   phase 1 instead of phase 0, so content inserted into an element is
+   never silently wiped by a same-PUL content replacement — under a
+   literal phase (d) reading, `insert node <a/> into $d` followed by
+   `replace value of node $d` would discard the <a/>. *)
 let rank = function
-  | Replace_value _ | Rename _ -> 0
+  | Insert_attributes _ | Replace_value _ | Rename _ -> 0
   | Insert_into _ | Insert_first _ | Insert_last _ | Insert_before _
-  | Insert_after _ | Insert_attributes _ ->
+  | Insert_after _ ->
       1
   | Replace_node _ -> 2
   | Delete _ -> 3
@@ -68,13 +87,44 @@ let apply_one = function
   | Replace_value (n, v) -> Dom.set_value n v
   | Rename (n, qn) -> Dom.rename n qn
 
+let prim_metric = function
+  | Insert_into _ -> "pul.prim.insert-into"
+  | Insert_first _ -> "pul.prim.insert-first"
+  | Insert_last _ -> "pul.prim.insert-last"
+  | Insert_before _ -> "pul.prim.insert-before"
+  | Insert_after _ -> "pul.prim.insert-after"
+  | Insert_attributes _ -> "pul.prim.insert-attributes"
+  | Delete _ -> "pul.prim.delete"
+  | Replace_node _ -> "pul.prim.replace-node"
+  | Replace_value _ -> "pul.prim.replace-value"
+  | Rename _ -> "pul.prim.rename"
+
+let phase_metric = [| "pul.phase.0"; "pul.phase.1"; "pul.phase.2"; "pul.phase.3" |]
+
 let apply t =
   let prims = List.rev t.items in
-  t.items <- [];
+  (* conflict detection (XUDY0015/0016/0017) runs against the intact
+     list: a conflicting PUL raises *before* anything is discarded, so
+     the caller can still inspect (or pretty-print) the rejected
+     updates. Only a successful check consumes the list. *)
   check_conflicts prims;
-  List.iter
-    (fun phase -> List.iter apply_one (List.filter (fun p -> rank p = phase) prims))
-    [ 0; 1; 2; 3 ]
+  t.items <- [];
+  let apply_phases () =
+    List.iter
+      (fun phase ->
+        let in_phase = List.filter (fun p -> rank p = phase) prims in
+        if !Obs.Metrics.enabled && in_phase <> [] then begin
+          Obs.Metrics.incr ~by:(List.length in_phase) phase_metric.(phase);
+          List.iter (fun p -> Obs.Metrics.incr (prim_metric p)) in_phase
+        end;
+        List.iter apply_one in_phase)
+      [ 0; 1; 2; 3 ]
+  in
+  if !Obs.Trace.enabled then
+    Obs.Trace.with_span
+      ~attrs:[ ("primitives", string_of_int (List.length prims)) ]
+      "pul.apply" apply_phases
+  else apply_phases ()
 
 let pp_primitive ppf p =
   let name =

@@ -28,10 +28,12 @@ val is_empty : t -> bool
 val length : t -> int
 val merge : into:t -> t -> unit
 
-(** Apply all pending updates in XQUF order (replace-value/rename,
-    inserts, replace-node, deletes), after checking the XQUF conflict
+(** Apply all pending updates in XQUF §3.2.2 phase order (see the rank
+    comment in the implementation), after checking the XQUF conflict
     rules (duplicate rename: XUDY0015; duplicate replace: XUDY0017,
-    duplicate replace-value: XUDY0017). Clears the list.
+    duplicate replace-value: XUDY0017). Clears the list on success; a
+    conflicting list raises {e before} anything is applied or
+    discarded, so the caller can still inspect it.
     @raise Xq_error.Error on conflicts. *)
 val apply : t -> unit
 

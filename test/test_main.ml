@@ -7,6 +7,7 @@ let () =
       ("xdm", Test_xdm.suite);
       ("xquery-lang", Test_xquery_lang.suite);
       ("functions", Test_functions.suite);
+      ("conformance-strings", Test_conformance_strings.suite);
       ("update", Test_update.suite);
       ("scripting", Test_scripting.suite);
       ("properties", Test_properties.suite);
@@ -20,5 +21,6 @@ let () =
       ("integration", Test_integration.suite);
       ("usecases", Test_usecases.suite);
       ("paper-examples", Test_paper_examples.suite);
+      ("obs", Test_obs.suite);
       ("misc", Test_misc.suite);
     ]

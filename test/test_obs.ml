@@ -1,0 +1,188 @@
+(* The observability layer: span trees, the metrics registry, the JSON
+   export/validator pair, the zero-record-when-disabled contract, and
+   the browser:stats() surface. *)
+
+let check = Alcotest.check
+
+(* every test runs against clean, known-state registries and leaves the
+   global flags off for the rest of the suite *)
+let t name f =
+  Alcotest.test_case name `Quick (fun () ->
+      Obs.Trace.reset ();
+      Obs.Metrics.reset ();
+      Obs.Trace.set_clock (fun () -> 0.);
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Trace.set_enabled false;
+          Obs.Metrics.set_enabled false;
+          Obs.Trace.set_capacity 1024;
+          Obs.Trace.reset ();
+          Obs.Metrics.reset ())
+        f)
+
+let trace_tests =
+  [
+    t "nested spans build a tree" (fun () ->
+        Obs.Trace.set_enabled true;
+        Obs.Trace.with_span "outer" (fun () ->
+            Obs.Trace.with_span "inner-1" (fun () -> ());
+            Obs.Trace.with_span "inner-2" (fun () ->
+                Obs.Trace.add_attr "k" "v"));
+        match Obs.Trace.roots () with
+        | [ root ] ->
+            check Alcotest.(list string) "preorder names"
+              [ "outer"; "inner-1"; "inner-2" ]
+              (Obs.Span.names root);
+            check Alcotest.int "span count" 3 (Obs.Span.count root);
+            let inner2 = Option.get (Obs.Span.find ~name:"inner-2" root) in
+            check Alcotest.(list (pair string string)) "attrs" [ ("k", "v") ]
+              inner2.Obs.Span.attrs
+        | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots));
+    t "a raising thunk still closes its span" (fun () ->
+        Obs.Trace.set_enabled true;
+        (try Obs.Trace.with_span "boom" (fun () -> failwith "expected")
+         with Failure _ -> ());
+        match Obs.Trace.roots () with
+        | [ root ] ->
+            check Alcotest.string "name" "boom" root.Obs.Span.name;
+            check Alcotest.bool "error attr" true
+              (List.mem_assoc "error" root.Obs.Span.attrs)
+        | _ -> Alcotest.fail "span was lost on exception");
+    t "ring buffer drops oldest roots" (fun () ->
+        Obs.Trace.set_enabled true;
+        Obs.Trace.set_capacity 2;
+        List.iter
+          (fun name -> Obs.Trace.with_span name (fun () -> ()))
+          [ "a"; "b"; "c" ];
+        check Alcotest.(list string) "survivors" [ "b"; "c" ]
+          (List.map (fun s -> s.Obs.Span.name) (Obs.Trace.roots ()));
+        check Alcotest.int "dropped" 1 (Obs.Trace.dropped ()));
+    t "export is valid JSON" (fun () ->
+        Obs.Trace.set_enabled true;
+        Obs.Trace.with_span
+          ~attrs:[ ("quote", "a\"b\\c"); ("ctl", "x\n\ty") ]
+          "tricky attrs"
+          (fun () -> Obs.Trace.with_span "child" (fun () -> ()));
+        let json = Obs.Trace.export_json () in
+        match Obs.Json.validate json with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "export not valid JSON: %s\n%s" m json);
+    t "disabled tracing records nothing" (fun () ->
+        Obs.Trace.with_span "ghost" (fun () ->
+            Obs.Trace.add_attr "k" "v");
+        check Alcotest.int "no roots" 0 (List.length (Obs.Trace.roots ())));
+  ]
+
+let metrics_tests =
+  [
+    t "counters accumulate and sort" (fun () ->
+        Obs.Metrics.set_enabled true;
+        Obs.Metrics.incr "b.two";
+        Obs.Metrics.incr ~by:41 "a.one";
+        Obs.Metrics.incr "a.one";
+        check
+          Alcotest.(list (pair string int))
+          "registry"
+          [ ("a.one", 42); ("b.two", 1) ]
+          (Obs.Metrics.counters ()));
+    t "histograms summarize observations" (fun () ->
+        Obs.Metrics.set_enabled true;
+        List.iter (Obs.Metrics.observe "lat") [ 0.5; 1.5; 0.25 ];
+        match Obs.Metrics.histograms () with
+        | [ ("lat", h) ] ->
+            check Alcotest.int "count" 3 h.Obs.Metrics.count;
+            check (Alcotest.float 1e-9) "sum" 2.25 h.Obs.Metrics.sum;
+            check (Alcotest.float 1e-9) "min" 0.25 h.Obs.Metrics.min;
+            check (Alcotest.float 1e-9) "max" 1.5 h.Obs.Metrics.max
+        | _ -> Alcotest.fail "expected exactly the 'lat' histogram");
+    t "disabled metrics record nothing" (fun () ->
+        Obs.Metrics.incr "ghost";
+        Obs.Metrics.observe "ghost_h" 1.;
+        check Alcotest.int "no counters" 0 (List.length (Obs.Metrics.counters ()));
+        check Alcotest.int "no histograms" 0
+          (List.length (Obs.Metrics.histograms ())));
+    t "metrics export is valid JSON" (fun () ->
+        Obs.Metrics.set_enabled true;
+        Obs.Metrics.incr "a\"b";
+        Obs.Metrics.observe "h" 0.125;
+        match Obs.Json.validate (Obs.Metrics.to_json ()) with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "not valid JSON: %s" m);
+  ]
+
+let json_tests =
+  [
+    t "validator accepts documents" (fun () ->
+        List.iter
+          (fun s ->
+            match Obs.Json.validate s with
+            | Ok () -> ()
+            | Error m -> Alcotest.failf "rejected %s: %s" s m)
+          [
+            "{}"; "[]"; "null"; "true"; "-1.5e3"; "\"a\\u00e9\"";
+            "{\"a\": [1, 2, {\"b\": null}], \"c\": \"d\"}";
+          ]);
+    t "validator rejects malformed documents" (fun () ->
+        List.iter
+          (fun s ->
+            match Obs.Json.validate s with
+            | Ok () -> Alcotest.failf "accepted malformed %s" s
+            | Error _ -> ())
+          [
+            ""; "{"; "[1,]"; "{\"a\" 1}"; "\"unterminated"; "01"; "nul";
+            "{} trailing"; "\"bad\\q\"";
+          ]);
+  ]
+
+(* ---------- the engine actually reports through the layer ---------- *)
+
+let integration_tests =
+  [
+    t "a traced page run covers the pipeline" (fun () ->
+        Obs.Trace.set_enabled true;
+        Obs.Metrics.set_enabled true;
+        let b = Xqib.Browser.create () in
+        Xqib.Browser.connect_obs b;
+        Xqib.Page.load b
+          {|<html><head><script type="text/xquery">
+            declare updating function local:main() {
+              insert node <p>hi</p> into //body
+            };
+            </script></head><body/></html>|};
+        Xqib.Browser.run b;
+        ignore (Xqib.Renderer.render (Xqib.Browser.document b));
+        let names =
+          List.concat_map Obs.Span.names (Obs.Trace.roots ())
+        in
+        List.iter
+          (fun expected ->
+            check Alcotest.bool expected true (List.mem expected names))
+          [
+            "page.load"; "page.parse-html"; "page.script"; "engine.compile";
+            "engine.parse"; "engine.eval"; "pul.apply"; "render";
+          ];
+        check Alcotest.bool "counted steps" true
+          (Obs.Metrics.counter "eval.steps" > 0);
+        check Alcotest.bool "counted a PUL insert" true
+          (Obs.Metrics.counter "pul.prim.insert-into" > 0));
+    t "browser:stats() exposes the registry as XML" (fun () ->
+        Obs.Metrics.set_enabled true;
+        let b = Xqib.Browser.create () in
+        Xqib.Page.load b "<html><body><i/></body></html>";
+        ignore (Xqib.Page.run_xquery b b.Xqib.Browser.top_window "count(//i)");
+        let got src =
+          Xdm_item.to_display_string
+            (Xqib.Page.run_xquery b b.Xqib.Browser.top_window src)
+        in
+        check Alcotest.string "enabled flag" "true"
+          (got "string(browser:stats()/@metrics-enabled)");
+        check Alcotest.string "steps counter present" "true"
+          (got
+             "exists(browser:stats()//counter[@name = 'eval.steps'][number(@value) ge 1])"));
+    t "disabled engine run records nothing" (fun () ->
+        ignore (Xquery.Engine.eval_string "count((1, 2, 3))");
+        check Alcotest.int "no counters" 0 (List.length (Obs.Metrics.counters ()));
+        check Alcotest.int "no spans" 0 (List.length (Obs.Trace.roots ())));
+  ]
+
+let suite = trace_tests @ metrics_tests @ json_tests @ integration_tests
