@@ -687,6 +687,152 @@ let bench_t9 ?(check = false) ?trace_file () =
           close_out oc;
           Printf.printf "traced run written to %s (validated)\n" file)
 
+(* ------------------------------------------------------------------ *)
+(* T10 — compiled-query cache: repeated page-load compile cost          *)
+
+(* Run [f] with the query cache forced on/off and emptied of entries
+   and stats, restoring the default (enabled) afterwards. *)
+let with_cache enabled f =
+  let qc = Xquery.Engine.query_cache in
+  Xquery.Query_cache.set_enabled enabled;
+  Xquery.Query_cache.clear qc;
+  Xquery.Query_cache.reset_stats qc;
+  let finish () = Xquery.Query_cache.set_enabled true in
+  match f () with
+  | r ->
+      finish ();
+      r
+  | exception e ->
+      finish ();
+      raise e
+
+(* A page script shaped like real page code: a prolog of function
+   declarations plus a small body. Reloading the page re-compiles it
+   against a fresh static context every time — the cache's target. *)
+let t10_script nfuns =
+  let buf = Buffer.create (nfuns * 64) in
+  for i = 1 to nfuns do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "declare function local:f%d($x) { if ($x > %d) then $x + %d else local:f%d($x + 1) };\n"
+         i i i i)
+  done;
+  Buffer.add_string buf "local:f1(0)";
+  Buffer.contents buf
+
+let bench_t10 ?(check = false) () =
+  section "T10"
+    "compiled-query cache: repeated page-load compile cost, off vs cold vs warm";
+  let qc = Xquery.Engine.query_cache in
+  let entries = ref [] in
+  Printf.printf "%-8s %14s %14s %14s %9s\n" "decls" "cache off" "cold miss"
+    "warm hit" "speedup";
+  List.iter
+    (fun nfuns ->
+      let src = t10_script nfuns in
+      let compile_once () =
+        ignore
+          (Sys.opaque_identity
+             (Xquery.Engine.compile_cached
+                ~static:(Xquery.Engine.default_static ())
+                src))
+      in
+      let off = with_cache false (fun () -> ns_per_run compile_once) in
+      let cold =
+        with_cache true (fun () ->
+            ns_per_run (fun () ->
+                Xquery.Query_cache.clear qc;
+                compile_once ()))
+      in
+      let warm =
+        with_cache true (fun () ->
+            compile_once ();
+            ns_per_run compile_once)
+      in
+      let speedup = off /. warm in
+      entries :=
+        json_entry ~name:"compile/warm" ~n:nfuns ~speedup warm
+        :: json_entry ~name:"compile/cold" ~n:nfuns cold
+        :: json_entry ~name:"compile/off" ~n:nfuns off
+        :: !entries;
+      Printf.printf "%-8d %14s %14s %14s %8.1fx\n" nfuns (pretty_ns off)
+        (pretty_ns cold) (pretty_ns warm) speedup;
+      if check && not (speedup >= 5.) then begin
+        Printf.eprintf
+          "T10 FAIL: warm cache speedup %.1fx below the 5x floor (%d decls)\n"
+          speedup nfuns;
+        exit 1
+      end)
+    (if smoke_enabled () then [ 20 ] else [ 5; 20; 80 ]);
+  (* the end-to-end view: a full page load, script compile included *)
+  let nfuns = if smoke_enabled () then 20 else 40 in
+  let page =
+    Printf.sprintf
+      "<html><head><script type=\"text/xquery\">%s</script></head><body><div \
+       id=\"root\"/></body></html>"
+      (t10_script nfuns)
+  in
+  let load_page () =
+    let b = B.create () in
+    Xqib.Page.load b page;
+    B.run b
+  in
+  let load_off = with_cache false (fun () -> ns_per_run ~quota:1.0 load_page) in
+  let load_warm =
+    with_cache true (fun () ->
+        load_page ();
+        ns_per_run ~quota:1.0 load_page)
+  in
+  entries :=
+    json_entry ~name:"page-load/warm" ~n:nfuns ~speedup:(load_off /. load_warm)
+      load_warm
+    :: json_entry ~name:"page-load/off" ~n:nfuns load_off
+    :: !entries;
+  Printf.printf "full page load (%d decls): off=%s warm=%s (%.1fx)\n" nfuns
+    (pretty_ns load_off) (pretty_ns load_warm) (load_off /. load_warm);
+  write_json ~file:"BENCH_T10.json" (List.rev !entries);
+  if check then begin
+    (* transparency gate (a): a scenario page must render the same DOM
+       with the cache on (twice, so the second load is a hit) and off *)
+    let render_with enabled =
+      with_cache enabled (fun () ->
+          let render () =
+            let b = B.create () in
+            Xqib.Page.load b (Scenarios.mult_table_xquery_page 9);
+            B.run b;
+            Dom.serialize (B.document b)
+          in
+          let first = render () in
+          let second = render () in
+          (first, second))
+    in
+    let off1, off2 = render_with false in
+    let on1, on2 = render_with true in
+    if not (off1 = off2 && off1 = on1 && off1 = on2) then begin
+      prerr_endline "T10 FAIL: cache-on render differs from cache-off render";
+      exit 1
+    end;
+    (* transparency gate (b): the second cache-on load above and the
+       warm measurements must actually have hit the cache *)
+    let hit_rate_seen =
+      with_cache true (fun () ->
+          let compile_twice () =
+            ignore
+              (Xquery.Engine.compile_cached
+                 ~static:(Xquery.Engine.default_static ())
+                 "1 + 1")
+          in
+          compile_twice ();
+          compile_twice ();
+          (Xquery.Query_cache.stats qc).Xquery.Query_cache.hits
+    ) in
+    if hit_rate_seen = 0 then begin
+      prerr_endline "T10 FAIL: warm re-compile recorded zero cache hits";
+      exit 1
+    end;
+    print_endline "T10 check: cache-on/off renders identical, warm hits observed"
+  end
+
 let () =
   let only = ref [] in
   let check = ref false in
@@ -729,4 +875,5 @@ let () =
   run "t7" bench_t7;
   run "t8" bench_t8;
   run "t9" (bench_t9 ~check:!check ?trace_file:!trace_file);
+  run "t10" (bench_t10 ~check:!check);
   print_endline "\ndone."

@@ -56,9 +56,41 @@ let metrics_arg =
     & info [ "metrics" ]
         ~doc:"Count engine events (axis steps, cache hits, faults, ...) and print the registry as JSON after the run.")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-query-cache" ]
+        ~doc:
+          "Disable the compiled-query cache: every script/expression is \
+           parsed and optimized from scratch (A/B baseline for the cache).")
+
+let cache_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "cache-stats" ]
+        ~doc:"Print query-cache statistics (hits, misses, evictions, bytes saved) after the run.")
+
 let obs_setup ~trace ~metrics =
   if trace <> None then Obs.Trace.set_enabled true;
   if metrics || trace <> None then Obs.Metrics.set_enabled true
+
+let cache_setup ~no_cache = if no_cache then Xquery.Query_cache.set_enabled false
+
+let cache_report ~cache_stats =
+  if cache_stats then begin
+    let c = Xquery.Engine.query_cache in
+    let s = Xquery.Query_cache.stats c in
+    Printf.eprintf
+      "== query cache ==\n\
+       enabled: %b  entries: %d/%d  generation: %d\n\
+       hits: %d  misses: %d  hit-rate: %.1f%%  evictions: %d  source bytes saved: %d\n"
+      !Xquery.Query_cache.enabled s.Xquery.Query_cache.entries
+      (Xquery.Query_cache.capacity c)
+      (Xquery.Query_cache.generation c)
+      s.Xquery.Query_cache.hits s.Xquery.Query_cache.misses
+      (100. *. Xquery.Query_cache.hit_rate c)
+      s.Xquery.Query_cache.evictions s.Xquery.Query_cache.cost_saved
+  end
 
 (* validate before writing: a malformed trace export is an engine bug
    and must fail loudly, not poison downstream tooling *)
@@ -97,28 +129,36 @@ let eval_cmd =
   let optimize =
     Arg.(value & opt bool true & info [ "optimize" ] ~doc:"Run the rewrite optimizer.")
   in
-  let run expr optimize trace metrics =
+  let run expr optimize trace metrics no_cache cache_stats =
     obs_setup ~trace ~metrics;
+    cache_setup ~no_cache;
     handle (fun () ->
         print_result (Xquery.Engine.eval_string ~optimize expr);
-        obs_report ~trace ~metrics)
+        obs_report ~trace ~metrics;
+        cache_report ~cache_stats)
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate an XQuery expression")
-    Term.(const run $ expr $ optimize $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ expr $ optimize $ trace_arg $ metrics_arg $ no_cache_arg
+      $ cache_stats_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xq") in
-  let run file trace metrics =
+  let run file trace metrics no_cache cache_stats =
     obs_setup ~trace ~metrics;
+    cache_setup ~no_cache;
     handle (fun () ->
         print_result (Xquery.Engine.eval_string (read_file file));
-        obs_report ~trace ~metrics)
+        obs_report ~trace ~metrics;
+        cache_report ~cache_stats)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an XQuery program file")
-    Term.(const run $ file $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ file $ trace_arg $ metrics_arg $ no_cache_arg
+      $ cache_stats_arg)
 
 (* ---- page ---- *)
 
@@ -162,12 +202,13 @@ let page_cmd =
              seed replays the exact same schedule.")
   in
   let run file clicks types show_doc render uppercase query fault_rate seed
-      trace metrics =
+      trace metrics no_cache cache_stats =
     if fault_rate < 0. || fault_rate >= 1. then begin
       Printf.eprintf "error: --fault-rate must be in [0, 1), got %g\n" fault_rate;
       exit 2
     end;
     obs_setup ~trace ~metrics;
+    cache_setup ~no_cache;
     handle (fun () ->
         Minijs.Js_interp.install ();
         let b =
@@ -235,13 +276,15 @@ let page_cmd =
             (stats.Retry.exhausted + rs.Retry.exhausted)
             (Rest.fallback_hits b.Xqib.Browser.rest)
         end;
-        obs_report ~trace ~metrics)
+        obs_report ~trace ~metrics;
+        cache_report ~cache_stats)
   in
   Cmd.v
     (Cmd.info "page" ~doc:"Load an (X)HTML page in the simulated browser")
     Term.(
       const run $ file $ clicks $ types $ show_doc $ render $ uppercase $ query
-      $ fault_rate $ seed $ trace_arg $ metrics_arg)
+      $ fault_rate $ seed $ trace_arg $ metrics_arg $ no_cache_arg
+      $ cache_stats_arg)
 
 (* ---- migrate ---- *)
 

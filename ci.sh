@@ -4,9 +4,13 @@
 # The T9 line additionally gates the observability layer: it fails if a
 # disabled run records anything, if the disabled-mode A/A delta exceeds
 # 2%, or if the exported trace JSON does not validate.
+# The T10 line gates the compiled-query cache: it fails if a cache-on
+# page render differs from cache-off, if a warm re-compile records zero
+# cache hits, or if the warm speedup drops below 5x.
 set -eu
 cd "$(dirname "$0")"
 dune build @all
 dune runtest
 dune exec bench/main.exe -- --smoke > /dev/null
 dune exec bench/main.exe -- --smoke --only t9 --check --trace /tmp/xqib_trace.json > /dev/null
+dune exec bench/main.exe -- --smoke --only t10 --check > /dev/null

@@ -90,7 +90,7 @@ let create http ~host:server_host =
 
 let add_xquery_page t ~path source =
   let static = Xquery.Engine.default_static () in
-  let compiled = Xquery.Engine.compile ~static source in
+  let compiled = Xquery.Engine.compile_cached ~static source in
   Hashtbl.replace t.pages path (Xquery_page { compiled; source })
 
 let add_static_page t ~path ?(content_type = "text/html") body =

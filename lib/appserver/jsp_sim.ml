@@ -44,6 +44,20 @@ let split_template template =
   go 0;
   List.rev !segments
 
+(* Templates are re-rendered on every request but their segmentation
+   never changes; key the cache on the template text itself. *)
+let template_cache : segment list Xquery.Query_cache.t =
+  Xquery.Query_cache.create ~name:"template-cache" ~capacity:64 ()
+
+let segments_of template =
+  match Xquery.Query_cache.find template_cache template with
+  | Some segs -> segs
+  | None ->
+      let segs = split_template template in
+      Xquery.Query_cache.add template_cache template
+        ~cost:(String.length template) segs;
+      segs
+
 let sql_value_to_js = function
   | Sql_lite.Int i -> J.vnum (float_of_int i)
   | Sql_lite.Float f -> J.vnum f
@@ -75,7 +89,7 @@ let result_set rows =
 
 let render t template =
   t.renders <- t.renders + 1;
-  let segments = split_template template in
+  let segments = segments_of template in
   let out = Buffer.create 512 in
   (* a headless browser/window hosts the scriptlet environment *)
   let b = Xqib.Browser.create () in

@@ -215,6 +215,17 @@ let install (b : Browser.t) (window : Windows.t) sctx =
       attr spans "roots" (string_of_int (List.length (Obs.Trace.roots ())));
       attr spans "dropped" (string_of_int (Obs.Trace.dropped ()));
       Dom.append_child ~parent:root spans;
+      let qc = Dom.create_element (Qname.make "query-cache") in
+      let s = Xquery.Query_cache.stats Xquery.Engine.query_cache in
+      attr qc "enabled" (string_of_bool !Xquery.Query_cache.enabled);
+      attr qc "hits" (string_of_int s.Xquery.Query_cache.hits);
+      attr qc "misses" (string_of_int s.Xquery.Query_cache.misses);
+      attr qc "evictions" (string_of_int s.Xquery.Query_cache.evictions);
+      attr qc "entries" (string_of_int s.Xquery.Query_cache.entries);
+      attr qc "generation"
+        (string_of_int (Xquery.Query_cache.generation Xquery.Engine.query_cache));
+      attr qc "cost-saved" (string_of_int s.Xquery.Query_cache.cost_saved);
+      Dom.append_child ~parent:root qc;
       [ I.Node root ]);
 
   (* document write (the paper notes best practice is XDM updates) *)

@@ -126,7 +126,7 @@ let traced ?attrs name f =
 let run_xquery_source b window source =
   traced "page.script" @@ fun () ->
   let st = state_for b window in
-  let compiled = Xquery.Engine.compile ~static:st.static source in
+  let compiled = Xquery.Engine.compile_cached ~static:st.static source in
   (* refresh globals declared by this script's prolog *)
   List.iter
     (fun (qn, sty, init) ->

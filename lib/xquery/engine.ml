@@ -43,16 +43,85 @@ let compile ?(optimize = true) ?static source =
     if optimize then traced "engine.optimize" (fun () -> Optimizer.optimize prog)
     else prog
   in
-  (* re-register optimized function bodies *)
+  (* Re-register optimized prolog declarations: the parser stored the
+     un-optimized function bodies and variable initializers in the
+     static context as it read them, so both must be swapped for their
+     optimized forms (variables in place, to keep evaluation order). *)
   if optimize then
     List.iter
       (function
         | Ast.P_function f -> Static_context.declare_function static f
+        | Ast.P_variable (qn, st, e) ->
+            Static_context.redeclare_variable static qn st e
         | _ -> ())
       prog.Ast.prolog;
   if !Obs.Metrics.enabled then
     Obs.Metrics.incr ~by:(String.length source) "engine.source-bytes";
   { prog; static }
+
+(* ------------------------------------------------------------------ *)
+(* compiled-query cache                                                *)
+
+let query_cache : compiled Query_cache.t =
+  Query_cache.create ~name:"query-cache" ~capacity:256 ()
+
+(* Replay a cached compilation's prolog into [static], reproducing
+   every side effect the parser + [compile] would have had: namespace
+   and default declarations, (optimized) function and variable
+   registrations, options and module imports. After this, [static] can
+   evaluate the cached program exactly as if it had compiled the source
+   itself — but with {e its own} external-function implementations and
+   module resolver, which is why cache hits re-bind the static context
+   instead of reusing the frozen one. *)
+let replay compiled static =
+  List.iter
+    (function
+      | Ast.P_namespace (prefix, uri) ->
+          Static_context.declare_namespace static ~prefix ~uri
+      | Ast.P_default_element_ns uri ->
+          Static_context.declare_default_element_ns static uri
+      | Ast.P_default_function_ns uri ->
+          Static_context.declare_default_function_ns static uri
+      | Ast.P_boundary_space_preserve b ->
+          Static_context.set_boundary_space_preserve static b
+      | Ast.P_variable (qn, st, e) ->
+          Static_context.redeclare_variable static qn st e
+      | Ast.P_function f -> Static_context.declare_function static f
+      | Ast.P_option (qn, v) -> Static_context.set_option static qn v
+      | Ast.P_module_import { prefix; uri; locations } ->
+          (match prefix with
+          | Some prefix -> Static_context.declare_namespace static ~prefix ~uri
+          | None -> ());
+          load_module static ~uri ~locations)
+    compiled.prog.Ast.prolog
+
+let cache_key ~optimize fingerprint source =
+  (if optimize then "O1|" else "O0|") ^ fingerprint ^ "|" ^ source
+
+let compile_cached ?(optimize = true) ?static source =
+  if not !Query_cache.enabled then compile ~optimize ?static source
+  else begin
+    let traced name f =
+      if !Obs.Trace.enabled then Obs.Trace.with_span name f else f ()
+    in
+    let static = match static with Some s -> s | None -> default_static () in
+    (* fingerprint before parsing: the key captures the context the
+       source is compiled *against*, not the one it produces *)
+    let fp =
+      traced "engine.fingerprint" (fun () -> Static_context.fingerprint static)
+    in
+    let key = cache_key ~optimize fp source in
+    match Query_cache.find query_cache key with
+    | Some cached ->
+        traced "engine.cache-replay" (fun () -> replay cached static);
+        { cached with static }
+    | None ->
+        let c = compile ~optimize ~static source in
+        (* freeze a private copy: the caller goes on mutating [static] *)
+        Query_cache.add query_cache key ~cost:(String.length source)
+          { c with static = Static_context.copy static };
+        c
+  end
 
 let context_for ?host ?context_item ?(bindings = []) compiled =
   let ctx = Dynamic_context.create ?host compiled.static in
@@ -75,10 +144,21 @@ let context_for ?host ?context_item ?(bindings = []) compiled =
             | None -> v
           in
           Dynamic_context.bind_global ctx qn v
-      | None ->
-          (* external variable: keep a pre-bound value if provided *)
-          if not (List.exists (fun (b, _) -> Qname.equal b qn) bindings) then
-            ())
+      | None -> (
+          (* external variable: the caller must supply a value, which
+             is checked against the declared type (XQuery §2.2.3.2) *)
+          match List.find_opt (fun (b, _) -> Qname.equal b qn) bindings with
+          | Some (_, v) ->
+              let v =
+                match st with
+                | Some st ->
+                    Seq_type.coerce ~what:("$" ^ Qname.to_string qn) st v
+                | None -> v
+              in
+              Dynamic_context.bind_global ctx qn v
+          | None ->
+              Xq_error.raise_error "XPDY0002"
+                "external variable $%s has no value" (Qname.to_string qn)))
     (Static_context.global_variables compiled.static);
   ctx
 
@@ -106,6 +186,6 @@ let run ?host ?context_item ?bindings compiled =
   result
 
 let eval_string ?optimize ?static ?host ?context_item ?bindings source =
-  run ?host ?context_item ?bindings (compile ?optimize ?static source)
+  run ?host ?context_item ?bindings (compile_cached ?optimize ?static source)
 
 let call ctx qn args = Eval.protect (fun () -> Eval.call_function ctx qn args)

@@ -17,6 +17,22 @@ val default_static : unit -> Static_context.t
     [optimize] (default true) runs the rewrite pass. *)
 val compile : ?optimize:bool -> ?static:Static_context.t -> string -> compiled
 
+(** The process-wide compiled-query cache, keyed by
+    (optimize flag, {!Static_context.fingerprint}, source). Hosts that
+    swap module resolvers or external-function {e implementations}
+    while keeping the same registration keys must
+    {!Query_cache.invalidate} it. *)
+val query_cache : compiled Query_cache.t
+
+(** Like {!compile}, but consults {!query_cache} first. On a hit the
+    cached program's prolog is replayed into [static] — reproducing
+    the parser's registrations without re-parsing — and the returned
+    artifact carries the caller's context. On a miss it compiles,
+    stores a frozen copy, and behaves exactly like {!compile}. Falls
+    back to {!compile} while {!Query_cache.enabled} is false. *)
+val compile_cached :
+  ?optimize:bool -> ?static:Static_context.t -> string -> compiled
+
 (** Build a dynamic context for a compiled program: binds the optional
     context item and evaluates the prolog's global variables.
     [bindings] pre-binds external variables. *)

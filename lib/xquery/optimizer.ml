@@ -9,8 +9,14 @@ let fired e =
 
 let rewrite_count () = !rewrites
 
+let passes = ref 1
+let last_passes () = !passes
+
 let is_count_call qn = qn.Qname.local = "count" && qn.Qname.uri = Some Qname.Ns.fn
 let fn_call name args = Ast.E_call (Qname.make ~uri:Qname.Ns.fn name, args)
+
+let is_fn qn names =
+  qn.Qname.uri = Some Qname.Ns.fn && List.mem qn.Qname.local names
 
 let literal_bool = function
   | Ast.E_literal (A.Boolean b) -> Some b
@@ -26,9 +32,373 @@ let literal_zero = function
   | Ast.E_literal (A.Integer 0) -> true
   | _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* generic one-level traversal                                         *)
+
+(* Rebuild [e] with [f] applied to every direct subexpression
+   (including those inside statements, full-text selections and
+   constructor attribute parts). The recursion schemes below — the
+   rewriter itself, the focus analysis, variable substitution — are all
+   instances of this. *)
+let rec map_children f (e : Ast.expr) : Ast.expr =
+  let g = f in
+  match e with
+  | Ast.E_literal _ | Ast.E_var _ | Ast.E_context_item | Ast.E_root
+  | Ast.E_text_literal _ ->
+      e
+  | Ast.E_sequence es -> Ast.E_sequence (List.map g es)
+  | Ast.E_range (a, b) -> Ast.E_range (g a, g b)
+  | Ast.E_if (c, t, f) -> Ast.E_if (g c, g t, g f)
+  | Ast.E_or (a, b) -> Ast.E_or (g a, g b)
+  | Ast.E_and (a, b) -> Ast.E_and (g a, g b)
+  | Ast.E_value_comp (op, a, b) -> Ast.E_value_comp (op, g a, g b)
+  | Ast.E_general_comp (op, a, b) -> Ast.E_general_comp (op, g a, g b)
+  | Ast.E_node_comp (op, a, b) -> Ast.E_node_comp (op, g a, g b)
+  | Ast.E_ftcontains (a, sel) -> Ast.E_ftcontains (g a, map_ft f sel)
+  | Ast.E_arith (op, a, b) -> Ast.E_arith (op, g a, g b)
+  | Ast.E_unary_minus a -> Ast.E_unary_minus (g a)
+  | Ast.E_union (a, b) -> Ast.E_union (g a, g b)
+  | Ast.E_intersect (a, b) -> Ast.E_intersect (g a, g b)
+  | Ast.E_except (a, b) -> Ast.E_except (g a, g b)
+  | Ast.E_instance_of (a, st) -> Ast.E_instance_of (g a, st)
+  | Ast.E_treat_as (a, st) -> Ast.E_treat_as (g a, st)
+  | Ast.E_castable_as (a, ty, o) -> Ast.E_castable_as (g a, ty, o)
+  | Ast.E_cast_as (a, ty, o) -> Ast.E_cast_as (g a, ty, o)
+  | Ast.E_step (axis, test, preds) -> Ast.E_step (axis, test, List.map g preds)
+  | Ast.E_path (a, b) -> Ast.E_path (g a, g b)
+  | Ast.E_filter (a, preds) -> Ast.E_filter (g a, List.map g preds)
+  | Ast.E_call (qn, args) -> Ast.E_call (qn, List.map g args)
+  | Ast.E_ordered a -> Ast.E_ordered (g a)
+  | Ast.E_unordered a -> Ast.E_unordered (g a)
+  | Ast.E_enclosed a -> Ast.E_enclosed (g a)
+  | Ast.E_flwor { clauses; where; order; return } ->
+      let clauses =
+        List.map
+          (function
+            | Ast.For_clause { var; pos_var; var_type; source } ->
+                Ast.For_clause { var; pos_var; var_type; source = g source }
+            | Ast.Let_clause { var; var_type; value } ->
+                Ast.Let_clause { var; var_type; value = g value })
+          clauses
+      in
+      Ast.E_flwor
+        {
+          clauses;
+          where = Option.map g where;
+          order = List.map (fun o -> { o with Ast.key = g o.Ast.key }) order;
+          return = g return;
+        }
+  | Ast.E_quantified (q, binds, body) ->
+      Ast.E_quantified
+        (q, List.map (fun (v, t, e) -> (v, t, g e)) binds, g body)
+  | Ast.E_typeswitch (op, cases, (dv, db)) ->
+      Ast.E_typeswitch
+        ( g op,
+          List.map (fun c -> { c with Ast.case_body = g c.Ast.case_body }) cases,
+          (dv, g db) )
+  | Ast.E_direct_element { name; attributes; children } ->
+      Ast.E_direct_element
+        {
+          name;
+          attributes =
+            List.map
+              (fun (an, parts) ->
+                ( an,
+                  List.map
+                    (function
+                      | Ast.A_text t -> Ast.A_text t
+                      | Ast.A_enclosed e -> Ast.A_enclosed (g e))
+                    parts ))
+              attributes;
+          children = List.map g children;
+        }
+  | Ast.E_computed_element (a, b) -> Ast.E_computed_element (g a, g b)
+  | Ast.E_computed_attribute (a, b) -> Ast.E_computed_attribute (g a, g b)
+  | Ast.E_computed_text a -> Ast.E_computed_text (g a)
+  | Ast.E_computed_comment a -> Ast.E_computed_comment (g a)
+  | Ast.E_computed_pi (a, b) -> Ast.E_computed_pi (g a, g b)
+  | Ast.E_computed_document a -> Ast.E_computed_document (g a)
+  | Ast.E_insert (p, a, b) -> Ast.E_insert (p, g a, g b)
+  | Ast.E_delete a -> Ast.E_delete (g a)
+  | Ast.E_replace { value_of; target; source } ->
+      Ast.E_replace { value_of; target = g target; source = g source }
+  | Ast.E_rename (a, b) -> Ast.E_rename (g a, g b)
+  | Ast.E_transform (binds, m, r) ->
+      Ast.E_transform (List.map (fun (v, e) -> (v, g e)) binds, g m, g r)
+  | Ast.E_block stmts -> Ast.E_block (List.map (map_stmt f) stmts)
+  | Ast.E_event_attach { event; binding; target; listener } ->
+      Ast.E_event_attach { event = g event; binding; target = g target; listener }
+  | Ast.E_event_detach { event; target; listener } ->
+      Ast.E_event_detach { event = g event; target = g target; listener }
+  | Ast.E_event_trigger { event; target } ->
+      Ast.E_event_trigger { event = g event; target = g target }
+  | Ast.E_set_style { property; target; value } ->
+      Ast.E_set_style { property = g property; target = g target; value = g value }
+  | Ast.E_get_style { property; target } ->
+      Ast.E_get_style { property = g property; target = g target }
+
+and map_ft f = function
+  | Ast.Ft_words (e, o) -> Ast.Ft_words (f e, o)
+  | Ast.Ft_and (a, b) -> Ast.Ft_and (map_ft f a, map_ft f b)
+  | Ast.Ft_or (a, b) -> Ast.Ft_or (map_ft f a, map_ft f b)
+  | Ast.Ft_not a -> Ast.Ft_not (map_ft f a)
+
+and map_stmt f = function
+  | Ast.S_var_decl (v, t, e) -> Ast.S_var_decl (v, t, Option.map f e)
+  | Ast.S_assign (v, e) -> Ast.S_assign (v, f e)
+  | Ast.S_while (c, body) -> Ast.S_while (f c, List.map (map_stmt f) body)
+  | (Ast.S_break | Ast.S_continue) as s -> s
+  | Ast.S_exit_with e -> Ast.S_exit_with (f e)
+  | Ast.S_expr e -> Ast.S_expr (f e)
+
+(* [exists_expr p e]: does [p] hold for [e] or any (transitive)
+   subexpression? *)
+let exists_expr p e =
+  let found = ref false in
+  let rec walk e =
+    if !found then e
+    else if p e then begin
+      found := true;
+      e
+    end
+    else map_children walk e
+  in
+  ignore (walk e);
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* positional-predicate analysis                                       *)
+
+(* The [descendant-or-self::node()/child::x → descendant::x] rewrite
+   regroups the selected nodes: each predicate then counts positions
+   over the whole descendant set instead of per child list. That is
+   only sound if no predicate observes the focus' position or size.
+   Two ways a predicate can do so:
+
+   - its *value* may be numeric (a numeric predicate means "keep the
+     item at this position");
+   - it *mentions* fn:position()/fn:last() — directly, or through a
+     call to a user/external function (this engine deliberately keeps
+     the caller's focus visible inside function bodies, see
+     {!Dynamic_context.function_scope}).
+
+   Both checks are conservative: anything unrecognized counts as
+   positional, so the rewrite can only be under-applied, never
+   miscompiled. *)
+
+(* fn: builtins whose value is never numeric *)
+let boolean_fns =
+  [
+    "not"; "exists"; "empty"; "boolean"; "true"; "false"; "contains";
+    "starts-with"; "ends-with"; "matches"; "lang"; "deep-equal";
+    "doc-available"; "codepoint-equal";
+  ]
+
+let string_fns =
+  [
+    "string"; "concat"; "string-join"; "substring"; "substring-before";
+    "substring-after"; "normalize-space"; "upper-case"; "lower-case";
+    "translate"; "replace"; "name"; "local-name"; "namespace-uri";
+    "codepoints-to-string"; "encode-for-uri"; "string-pad";
+  ]
+
+let rec may_yield_number (e : Ast.expr) =
+  match e with
+  | Ast.E_literal a -> A.is_numeric a
+  | Ast.E_text_literal _ -> false
+  (* node sequences: a node-valued predicate is an existence test *)
+  | Ast.E_root | Ast.E_context_item | Ast.E_step _ | Ast.E_path _
+  | Ast.E_union _ | Ast.E_intersect _ | Ast.E_except _
+  | Ast.E_direct_element _ | Ast.E_computed_element _
+  | Ast.E_computed_attribute _ | Ast.E_computed_text _
+  | Ast.E_computed_comment _ | Ast.E_computed_pi _ | Ast.E_computed_document _
+    ->
+      false
+  (* boolean-valued forms *)
+  | Ast.E_and _ | Ast.E_or _ | Ast.E_value_comp _ | Ast.E_general_comp _
+  | Ast.E_node_comp _ | Ast.E_quantified _ | Ast.E_instance_of _
+  | Ast.E_castable_as _ | Ast.E_ftcontains _ ->
+      false
+  | Ast.E_if (_, t, f) -> may_yield_number t || may_yield_number f
+  | Ast.E_sequence es -> List.exists may_yield_number es
+  | Ast.E_enclosed e | Ast.E_ordered e | Ast.E_unordered e
+  | Ast.E_treat_as (e, _) ->
+      may_yield_number e
+  | Ast.E_filter (e, _) -> may_yield_number e
+  | Ast.E_cast_as (_, (A.T_string | A.T_boolean | A.T_any_uri | A.T_qname), _)
+    ->
+      false
+  | Ast.E_call (qn, _) when is_fn qn boolean_fns -> false
+  | Ast.E_call (qn, _) when is_fn qn string_fns -> false
+  (* arithmetic, ranges, variables, unknown calls, FLWORs, blocks …
+     anything not provably non-numeric is treated as positional *)
+  | _ -> true
+
+let uses_focus e =
+  exists_expr
+    (function
+      | Ast.E_call ({ Qname.local = "position" | "last"; uri = Some u; _ }, [])
+        when u = Qname.Ns.fn ->
+          true
+      | Ast.E_call (qn, _) ->
+          (* xs: constructors are casts; fn: builtins other than
+             position/last never read the focus position; any other
+             (user/external) function might, since function bodies see
+             the caller's focus in this engine *)
+          not (qn.Qname.uri = Some Qname.Ns.fn || qn.Qname.uri = Some Qname.Ns.xs)
+      | _ -> false)
+    e
+
+let has_positional preds =
+  List.exists (fun p -> may_yield_number p || uses_focus p) preds
+
+(* ------------------------------------------------------------------ *)
+(* literal let inlining                                                *)
+
+exception Cannot_inline
+
+let clause_binds qn = function
+  | Ast.For_clause { var; pos_var; _ } ->
+      Qname.equal var qn
+      || (match pos_var with Some p -> Qname.equal p qn | None -> false)
+  | Ast.Let_clause { var; _ } -> Qname.equal var qn
+
+(* Substitute [$qn := lit] in [e]. Stops descending at binders that
+   shadow [qn]; refuses ([Cannot_inline]) on scripting blocks that
+   mention the variable at all, since a block may re-declare or
+   [set $qn := …] it. *)
+let substitute qn lit e =
+  let rec sub (e : Ast.expr) =
+    match e with
+    | Ast.E_var q when Qname.equal q qn -> Ast.E_literal lit
+    | Ast.E_block _ ->
+        if
+          exists_expr
+            (function
+              | Ast.E_var q -> Qname.equal q qn
+              | Ast.E_block stmts ->
+                  List.exists
+                    (function
+                      | Ast.S_var_decl (v, _, _) | Ast.S_assign (v, _) ->
+                          Qname.equal v qn
+                      | _ -> false)
+                    stmts
+              | _ -> false)
+            e
+        then raise Cannot_inline
+        else e
+    | Ast.E_flwor { clauses; where; order; return } ->
+        let clauses, shadowed = sub_clauses [] false clauses in
+        if shadowed then Ast.E_flwor { clauses; where; order; return }
+        else
+          Ast.E_flwor
+            {
+              clauses;
+              where = Option.map sub where;
+              order = List.map (fun o -> { o with Ast.key = sub o.Ast.key }) order;
+              return = sub return;
+            }
+    | Ast.E_quantified (q, binds, body) ->
+        let binds, shadowed =
+          List.fold_left
+            (fun (acc, shadowed) (v, t, src) ->
+              let src = if shadowed then src else sub src in
+              ((v, t, src) :: acc, shadowed || Qname.equal v qn))
+            ([], false) binds
+        in
+        let binds = List.rev binds in
+        Ast.E_quantified (q, binds, if shadowed then body else sub body)
+    | Ast.E_typeswitch (op, cases, (dv, db)) ->
+        let cases =
+          List.map
+            (fun c ->
+              match c.Ast.case_var with
+              | Some v when Qname.equal v qn -> c
+              | _ -> { c with Ast.case_body = sub c.Ast.case_body })
+            cases
+        in
+        let db =
+          match dv with Some v when Qname.equal v qn -> db | _ -> sub db
+        in
+        Ast.E_typeswitch (sub op, cases, (dv, db))
+    | Ast.E_transform (binds, m, r) ->
+        let binds, shadowed =
+          List.fold_left
+            (fun (acc, shadowed) (v, src) ->
+              let src = if shadowed then src else sub src in
+              ((v, src) :: acc, shadowed || Qname.equal v qn))
+            ([], false) binds
+        in
+        let binds = List.rev binds in
+        if shadowed then Ast.E_transform (binds, m, r)
+        else Ast.E_transform (binds, sub m, sub r)
+    | e -> map_children sub e
+  and sub_clauses acc shadowed = function
+    | [] -> (List.rev acc, shadowed)
+    | c :: rest ->
+        let c =
+          if shadowed then c
+          else
+            match c with
+            | Ast.For_clause f -> Ast.For_clause { f with source = sub f.source }
+            | Ast.Let_clause l -> Ast.Let_clause { l with value = sub l.value }
+        in
+        sub_clauses (c :: acc) (shadowed || clause_binds qn c) rest
+  in
+  sub e
+
+(* Drop the first [let $x := <literal>] clause (no declared type) and
+   substitute the literal into the clause's scope. Returns the
+   rewritten expression, or [None] when no clause is inlinable. *)
+let rec inline_literal_let clauses where order return =
+  let rec try_at before = function
+    | [] -> None
+    | (Ast.Let_clause { var; var_type = None; value = Ast.E_literal lit } as c)
+      :: rest -> (
+        let shadowed_later = List.exists (clause_binds var) rest in
+        match
+          let rest = List.map (sub_clause var lit) (mark_suffix var rest) in
+          let sub e = if shadowed_later then e else substitute var lit e in
+          ( rest,
+            Option.map sub where,
+            List.map (fun o -> { o with Ast.key = sub o.Ast.key }) order,
+            sub return )
+        with
+        | rest, where, order, return -> (
+            match (List.rev_append before rest, where, order) with
+            | [], None, [] -> Some return
+            | clauses, where, order ->
+                Some (Ast.E_flwor { clauses; where; order; return }))
+        | exception Cannot_inline -> try_at (c :: before) rest)
+    | c :: rest -> try_at (c :: before) rest
+  in
+  try_at [] clauses
+
+(* tag each suffix clause with whether [var] has been re-bound before it *)
+and mark_suffix var rest =
+  let _, tagged =
+    List.fold_left
+      (fun (shadowed, acc) c ->
+        (shadowed || clause_binds var c, (shadowed, c) :: acc))
+      (false, []) rest
+  in
+  List.rev tagged
+
+and sub_clause var lit (shadowed, c) =
+  if shadowed then c
+  else
+    match c with
+    | Ast.For_clause f ->
+        Ast.For_clause { f with source = substitute var lit f.source }
+    | Ast.Let_clause l ->
+        Ast.Let_clause { l with value = substitute var lit l.value }
+
+(* ------------------------------------------------------------------ *)
+(* the rewrite rules                                                   *)
+
 (* one bottom-up pass; [go] recurses, then local rules fire *)
 let rec go (e : Ast.expr) : Ast.expr =
-  let e = descend e in
+  let e = map_children go e in
   if Ast.is_updating e then e else rules e
 
 and rules e =
@@ -103,154 +473,75 @@ and rules e =
   | Ast.E_value_comp (Ast.Ge, Ast.E_call (qn, [ arg ]), Ast.E_literal (A.Integer 1))
     when is_count_call qn ->
       fired (fn_call "exists" [ arg ])
-  (* flatten nested sequences *)
+  (* general comparison of singleton literals → value comparison
+     (skips the existential pairing loop at run time) *)
+  | Ast.E_general_comp (op, (Ast.E_literal _ as a), (Ast.E_literal _ as b)) ->
+      fired (Ast.E_value_comp (op, a, b))
+  (* fn:concat over literals folds to one string literal *)
+  | Ast.E_call ({ Qname.local = "concat"; uri = Some u; _ }, args)
+    when u = Qname.Ns.fn
+         && args <> []
+         && List.for_all (function Ast.E_literal _ -> true | _ -> false) args ->
+      fired
+        (Ast.E_literal
+           (A.String
+              (String.concat ""
+                 (List.map
+                    (function
+                      | Ast.E_literal a -> A.to_string a
+                      | _ -> assert false)
+                    args))))
+  (* flatten nested sequences; () members vanish in the same stroke *)
   | Ast.E_sequence es when List.exists (function Ast.E_sequence _ -> true | _ -> false) es ->
       fired
         (Ast.E_sequence
            (List.concat_map
               (function Ast.E_sequence inner -> inner | e -> [ e ])
               es))
+  (* (e) → e *)
+  | Ast.E_sequence [ e ] -> fired e
+  (* literal let elimination: let $x := 1 return … $x … *)
+  | Ast.E_flwor { clauses; where; order; return } -> (
+      match inline_literal_let clauses where order return with
+      | Some e' -> fired e'
+      | None -> e)
   | e -> e
 
-and has_positional preds =
-  (* conservative: any predicate that is a bare numeric literal or
-     mentions fn:position()/fn:last() blocks the //-rewrite *)
-  let rec mentions_focus = function
-    | Ast.E_literal a -> A.is_numeric a
-    | Ast.E_call ({ Qname.local = ("position" | "last"); uri = Some u; _ }, [])
-      when u = Qname.Ns.fn ->
-        true
-    | Ast.E_arith (_, a, b)
-    | Ast.E_general_comp (_, a, b)
-    | Ast.E_value_comp (_, a, b)
-    | Ast.E_and (a, b)
-    | Ast.E_or (a, b) ->
-        mentions_focus a || mentions_focus b
-    | _ -> false
+(* ------------------------------------------------------------------ *)
+(* the driver: a budgeted fixpoint                                     *)
+
+(* A single bottom-up pass can miss follow-on opportunities (inlining a
+   let exposes constant arithmetic; folding fn:concat exposes a
+   literal comparison), so [go] re-runs until no rule fires. The pass
+   budget bounds pathological inputs; in practice two or three passes
+   reach the fixpoint. *)
+let default_max_passes = 10
+
+let fixpoint ?(max_passes = default_max_passes) f x =
+  let rec loop n x =
+    let before = !rewrites in
+    let x = f x in
+    if !rewrites = before || n >= max_passes then begin
+      passes := n;
+      x
+    end
+    else loop (n + 1) x
   in
-  List.exists mentions_focus preds
+  loop 1 x
 
-and descend e =
-  let g = go in
-  match (e : Ast.expr) with
-  | Ast.E_literal _ | Ast.E_var _ | Ast.E_context_item | Ast.E_root
-  | Ast.E_text_literal _ ->
-      e
-  | Ast.E_sequence es -> Ast.E_sequence (List.map g es)
-  | Ast.E_range (a, b) -> Ast.E_range (g a, g b)
-  | Ast.E_if (c, t, f) -> Ast.E_if (g c, g t, g f)
-  | Ast.E_or (a, b) -> Ast.E_or (g a, g b)
-  | Ast.E_and (a, b) -> Ast.E_and (g a, g b)
-  | Ast.E_value_comp (op, a, b) -> Ast.E_value_comp (op, g a, g b)
-  | Ast.E_general_comp (op, a, b) -> Ast.E_general_comp (op, g a, g b)
-  | Ast.E_node_comp (op, a, b) -> Ast.E_node_comp (op, g a, g b)
-  | Ast.E_ftcontains (a, sel) -> Ast.E_ftcontains (g a, go_ft sel)
-  | Ast.E_arith (op, a, b) -> Ast.E_arith (op, g a, g b)
-  | Ast.E_unary_minus a -> Ast.E_unary_minus (g a)
-  | Ast.E_union (a, b) -> Ast.E_union (g a, g b)
-  | Ast.E_intersect (a, b) -> Ast.E_intersect (g a, g b)
-  | Ast.E_except (a, b) -> Ast.E_except (g a, g b)
-  | Ast.E_instance_of (a, st) -> Ast.E_instance_of (g a, st)
-  | Ast.E_treat_as (a, st) -> Ast.E_treat_as (g a, st)
-  | Ast.E_castable_as (a, ty, o) -> Ast.E_castable_as (g a, ty, o)
-  | Ast.E_cast_as (a, ty, o) -> Ast.E_cast_as (g a, ty, o)
-  | Ast.E_step (axis, test, preds) -> Ast.E_step (axis, test, List.map g preds)
-  | Ast.E_path (a, b) -> Ast.E_path (g a, g b)
-  | Ast.E_filter (a, preds) -> Ast.E_filter (g a, List.map g preds)
-  | Ast.E_call (qn, args) -> Ast.E_call (qn, List.map g args)
-  | Ast.E_ordered a -> Ast.E_ordered (g a)
-  | Ast.E_unordered a -> Ast.E_unordered (g a)
-  | Ast.E_enclosed a -> Ast.E_enclosed (g a)
-  | Ast.E_flwor { clauses; where; order; return } ->
-      let clauses =
-        List.map
-          (function
-            | Ast.For_clause { var; pos_var; var_type; source } ->
-                Ast.For_clause { var; pos_var; var_type; source = g source }
-            | Ast.Let_clause { var; var_type; value } ->
-                Ast.Let_clause { var; var_type; value = g value })
-          clauses
-      in
-      Ast.E_flwor
-        {
-          clauses;
-          where = Option.map g where;
-          order = List.map (fun o -> { o with Ast.key = g o.Ast.key }) order;
-          return = g return;
-        }
-  | Ast.E_quantified (q, binds, body) ->
-      Ast.E_quantified
-        (q, List.map (fun (v, t, e) -> (v, t, g e)) binds, g body)
-  | Ast.E_typeswitch (op, cases, (dv, db)) ->
-      Ast.E_typeswitch
-        ( g op,
-          List.map (fun c -> { c with Ast.case_body = g c.Ast.case_body }) cases,
-          (dv, g db) )
-  | Ast.E_direct_element { name; attributes; children } ->
-      Ast.E_direct_element
-        {
-          name;
-          attributes =
-            List.map
-              (fun (an, parts) ->
-                ( an,
-                  List.map
-                    (function
-                      | Ast.A_text t -> Ast.A_text t
-                      | Ast.A_enclosed e -> Ast.A_enclosed (g e))
-                    parts ))
-              attributes;
-          children = List.map g children;
-        }
-  | Ast.E_computed_element (a, b) -> Ast.E_computed_element (g a, g b)
-  | Ast.E_computed_attribute (a, b) -> Ast.E_computed_attribute (g a, g b)
-  | Ast.E_computed_text a -> Ast.E_computed_text (g a)
-  | Ast.E_computed_comment a -> Ast.E_computed_comment (g a)
-  | Ast.E_computed_pi (a, b) -> Ast.E_computed_pi (g a, g b)
-  | Ast.E_computed_document a -> Ast.E_computed_document (g a)
-  | Ast.E_insert (p, a, b) -> Ast.E_insert (p, g a, g b)
-  | Ast.E_delete a -> Ast.E_delete (g a)
-  | Ast.E_replace { value_of; target; source } ->
-      Ast.E_replace { value_of; target = g target; source = g source }
-  | Ast.E_rename (a, b) -> Ast.E_rename (g a, g b)
-  | Ast.E_transform (binds, m, r) ->
-      Ast.E_transform (List.map (fun (v, e) -> (v, g e)) binds, g m, g r)
-  | Ast.E_block stmts -> Ast.E_block (List.map go_stmt stmts)
-  | Ast.E_event_attach { event; binding; target; listener } ->
-      Ast.E_event_attach { event = g event; binding; target = g target; listener }
-  | Ast.E_event_detach { event; target; listener } ->
-      Ast.E_event_detach { event = g event; target = g target; listener }
-  | Ast.E_event_trigger { event; target } ->
-      Ast.E_event_trigger { event = g event; target = g target }
-  | Ast.E_set_style { property; target; value } ->
-      Ast.E_set_style { property = g property; target = g target; value = g value }
-  | Ast.E_get_style { property; target } ->
-      Ast.E_get_style { property = g property; target = g target }
+let optimize_expr ?max_passes e = fixpoint ?max_passes go e
 
-and go_ft = function
-  | Ast.Ft_words (e, o) -> Ast.Ft_words (go e, o)
-  | Ast.Ft_and (a, b) -> Ast.Ft_and (go_ft a, go_ft b)
-  | Ast.Ft_or (a, b) -> Ast.Ft_or (go_ft a, go_ft b)
-  | Ast.Ft_not a -> Ast.Ft_not (go_ft a)
-
-and go_stmt = function
-  | Ast.S_var_decl (v, t, e) -> Ast.S_var_decl (v, t, Option.map go e)
-  | Ast.S_assign (v, e) -> Ast.S_assign (v, go e)
-  | Ast.S_while (c, body) -> Ast.S_while (go c, List.map go_stmt body)
-  | (Ast.S_break | Ast.S_continue) as s -> s
-  | Ast.S_exit_with e -> Ast.S_exit_with (go e)
-  | Ast.S_expr e -> Ast.S_expr (go e)
-
-let optimize_expr e = go e
-
-let optimize (prog : Ast.prog) =
-  let prolog =
-    List.map
-      (function
-        | Ast.P_function f ->
-            Ast.P_function { f with Ast.body = Option.map go f.Ast.body }
-        | Ast.P_variable (v, t, e) -> Ast.P_variable (v, t, Option.map go e)
-        | d -> d)
-      prog.Ast.prolog
+let optimize ?max_passes (prog : Ast.prog) =
+  let pass (prog : Ast.prog) =
+    let prolog =
+      List.map
+        (function
+          | Ast.P_function f ->
+              Ast.P_function { f with Ast.body = Option.map go f.Ast.body }
+          | Ast.P_variable (v, t, e) -> Ast.P_variable (v, t, Option.map go e)
+          | d -> d)
+        prog.Ast.prolog
+    in
+    { prog with Ast.prolog; body = Option.map go prog.Ast.body }
   in
-  { prog with Ast.prolog; body = Option.map go prog.Ast.body }
+  fixpoint ?max_passes pass prog

@@ -1,0 +1,85 @@
+(** A generation-aware LRU cache for compiled artifacts.
+
+    The motivating client is the compiled-query cache ({!Engine}
+    wraps one around parse+optimize so repeated page loads of the same
+    [<script type="text/xquery">] source become a lookup, paper §5),
+    but the store is generic: any string key to any payload. A second
+    client is {!Jsp_sim}'s template-segment cache.
+
+    Keys are opaque strings; for compiled queries {!Engine} builds them
+    from (source, static-context fingerprint, optimize flag).
+
+    Invalidation is by {e generation}: {!invalidate} bumps a counter
+    and every entry added under an older generation lazily misses (and
+    is dropped) on its next lookup. This gives O(1) "drop everything"
+    without touching the table.
+
+    When {!Obs.Metrics.enabled} is set, each cache bumps
+    [<name>.hit], [<name>.miss], [<name>.eviction] and
+    [<name>.cost-saved] counters (cost is the caller-supplied weight of
+    a cached value, e.g. source bytes not re-parsed).
+
+    The module-level {!enabled} flag is a global kill switch surfaced
+    as [--no-query-cache] in the CLI: {!find} always misses (recording
+    nothing) and {!add} is a no-op while it is false. *)
+
+type 'a t
+
+(** Global kill switch shared by every cache (CLI [--no-query-cache]). *)
+val enabled : bool ref
+
+val set_enabled : bool -> unit
+
+(** [create ?name ?capacity ()] — [name] prefixes the obs counters
+    (default ["cache"]), [capacity] is the maximum entry count
+    (default 256, minimum 1). *)
+val create : ?name:string -> ?capacity:int -> unit -> 'a t
+
+val name : 'a t -> string
+val capacity : 'a t -> int
+
+(** Shrinking below the current size evicts least-recently-used
+    entries immediately. *)
+val set_capacity : 'a t -> int -> unit
+
+(** Number of live entries (stale generations included until lookup). *)
+val length : 'a t -> int
+
+(** Lookup; refreshes recency on hit. A stale-generation entry is
+    dropped and reported as a miss. *)
+val find : 'a t -> string -> 'a option
+
+(** Insert (replacing any previous value under the key) under the
+    current generation. [cost] is the weight credited to
+    [cost_saved] on each future hit. Evicts the least-recently-used
+    entry when full. No-op while {!enabled} is false. *)
+val add : 'a t -> string -> cost:int -> 'a -> unit
+
+(** Drop one key. *)
+val remove : 'a t -> string -> unit
+
+(** Bump the generation: every current entry becomes stale. *)
+val invalidate : 'a t -> unit
+
+(** Current generation number (starts at 0). *)
+val generation : 'a t -> int
+
+(** Drop all entries (stats and generation are untouched). *)
+val clear : 'a t -> unit
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  entries : int;
+  cost_saved : int;  (** sum of [cost] over hits *)
+}
+
+val stats : 'a t -> stats
+
+(** Zero the counters (entries stay cached). *)
+val reset_stats : 'a t -> unit
+
+(** [hit_rate t] = hits / (hits + misses), 0. when unused. *)
+val hit_rate : 'a t -> float

@@ -76,6 +76,15 @@ let declared_functions t =
   Hashtbl.fold (fun _ f acc -> f :: acc) t.functions []
 
 let declare_variable t qn st e = t.variables <- t.variables @ [ (qn, st, e) ]
+
+let redeclare_variable t qn st e =
+  if List.exists (fun (q, _, _) -> Qname.equal q qn) t.variables then
+    t.variables <-
+      List.map
+        (fun (q, st0, e0) -> if Qname.equal q qn then (q, st, e) else (q, st0, e0))
+        t.variables
+  else declare_variable t qn st e
+
 let global_variables t = t.variables
 let set_option t qn v = t.options <- (qn, v) :: t.options
 
@@ -103,3 +112,30 @@ let mark_imported t uri = t.imported <- uri :: t.imported
 let is_imported t uri = List.mem uri t.imported
 let set_module_resolver t r = t.resolver <- r
 let resolve_module t ~uri ~locations = t.resolver ~uri ~locations
+
+(* Everything that can influence compilation is pure data except the
+   module resolver (a closure) and the external-function
+   implementations; those are represented by their registration keys
+   only, so two contexts that register the same names but different
+   behaviour fingerprint identically — callers that swap resolvers or
+   externals under the same names must invalidate the query cache. *)
+let fingerprint t =
+  let sorted_keys h =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])
+  in
+  let functions =
+    List.sort compare
+      (Hashtbl.fold (fun k f acc -> (k, f) :: acc) t.functions [])
+  in
+  let payload =
+    ( t.ns,
+      t.default_fun_ns,
+      t.boundary_space,
+      functions,
+      sorted_keys t.externals,
+      t.variables,
+      t.options,
+      t.blocked,
+      t.imported )
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string payload []))

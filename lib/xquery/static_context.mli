@@ -37,6 +37,12 @@ val declare_function : t -> Ast.function_decl -> unit
 val find_function : t -> Qname.t -> arity:int -> Ast.function_decl option
 val declared_functions : t -> Ast.function_decl list
 val declare_variable : t -> Qname.t -> Ast.seq_type option -> Ast.expr option -> unit
+
+(** Replace an existing declaration in place (keeping evaluation
+    order), or append if the variable is new. Used to swap in
+    optimized initializers and to replay cached compilations. *)
+val redeclare_variable : t -> Qname.t -> Ast.seq_type option -> Ast.expr option -> unit
+
 val global_variables : t -> (Qname.t * Ast.seq_type option * Ast.expr option) list
 val set_option : t -> Qname.t -> string -> unit
 val get_option : t -> Qname.t -> string option
@@ -64,3 +70,14 @@ val set_module_resolver :
   t -> (uri:string -> locations:string list -> module_resolution) -> unit
 
 val resolve_module : t -> uri:string -> locations:string list -> module_resolution
+
+(** {1 Fingerprint}
+
+    A digest of every compilation-relevant piece of the context:
+    namespaces, defaults, declared functions and variables (including
+    their ASTs), external-function {e keys}, options, blocked
+    functions and imported module URIs. Two contexts with equal
+    fingerprints compile a given source to the same program, except
+    that module resolvers and external implementations are compared by
+    registration key only. The query cache keys on this. *)
+val fingerprint : t -> string

@@ -11,6 +11,8 @@ let () =
       ("update", Test_update.suite);
       ("scripting", Test_scripting.suite);
       ("properties", Test_properties.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("query-cache", Test_query_cache.suite);
       ("net", Test_net.suite);
       ("faults", Test_faults.suite);
       ("browser", Test_browser.suite);
