@@ -833,6 +833,137 @@ let bench_t10 ?(check = false) () =
     print_endline "T10 check: cache-on/off renders identical, warm hits observed"
   end
 
+(* ------------------------------------------------------------------ *)
+(* T11 — streaming pipeline: lazy cursors + early exit vs eager        *)
+
+(* a wide flat document with an early witness: @hit='1' only at row
+   10, so early-exit consumers stop after a tiny prefix of n *)
+let t11_doc n =
+  let buf = Buffer.create (n * 48) in
+  Buffer.add_string buf "<html><body><div id=\"root\">";
+  for i = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf "<row id=\"r%d\" hit=\"%d\">v%d</row>" i
+         (if i = 10 then 1 else 0)
+         i)
+  done;
+  Buffer.add_string buf "</div></body></html>";
+  Dom.of_string (Buffer.contents buf)
+
+let with_streaming enabled f =
+  let prev = Xquery.Eval.streaming_enabled () in
+  Xquery.Eval.set_streaming enabled;
+  Fun.protect ~finally:(fun () -> Xquery.Eval.set_streaming prev) f
+
+let bench_t11 ?(check = false) () =
+  section "T11"
+    "streaming pipeline: lazy cursors with early exit vs eager ablation";
+  let entries = ref [] in
+  (* early-exit consumers: the streamed prefix is O(1) in n *)
+  let early_queries =
+    [
+      ("first-item", "(//row)[1]");
+      ("exists-hit", "exists(//row[@hit='1'])");
+      ("quantifier", "some $x in //row satisfies $x/@hit = '1'");
+      ("take-10", "(//row)[position() le 10]");
+      ("bounded-count", "count(//row) > 5");
+      ("subsequence-10", "subsequence(//row, 1, 10)");
+    ]
+  in
+  (* A/A workloads: every item is consumed, so streaming has nothing
+     to skip and must not regress *)
+  let aa_queries =
+    [
+      ("aa/count-all", "count(//row)");
+      ("aa/string-join", "string-join(//row/@id, ',')");
+    ]
+  in
+  let sizes = if smoke_enabled () then [ 200 ] else [ 1000; 10000 ] in
+  let n_max = List.fold_left max 0 sizes in
+  let wins = ref 0 in
+  List.iter
+    (fun n ->
+      let doc = t11_doc n in
+      Printf.printf "%-8d %-16s %14s %14s %9s\n" n "query" "streaming"
+        "eager" "speedup";
+      let compiled src =
+        Xquery.Engine.compile ~static:(Xquery.Engine.default_static ()) src
+      in
+      let measure ~name ~gate src =
+        let q = compiled src in
+        let run () =
+          ignore
+            (Sys.opaque_identity
+               (Xquery.Engine.run ~context_item:(Xdm_item.Node doc) q))
+        in
+        (* correctness first: the ablation switch is the test oracle *)
+        let result enabled =
+          with_streaming enabled (fun () ->
+              Xdm_item.to_display_string
+                (Xquery.Engine.run ~context_item:(Xdm_item.Node doc) q))
+        in
+        if result true <> result false then begin
+          Printf.eprintf "T11 FAIL: streaming result differs on %s\n" src;
+          exit 1
+        end;
+        let stream = with_streaming true (fun () -> ns_per_run run) in
+        let eager = with_streaming false (fun () -> ns_per_run run) in
+        let speedup = eager /. stream in
+        if gate && n = n_max && speedup >= (if smoke_enabled () then 5. else 10.)
+        then incr wins;
+        entries :=
+          json_entry ~name:(name ^ "/eager") ~n eager
+          :: json_entry ~name ~n ~speedup stream
+          :: !entries;
+        Printf.printf "%-8s %-16s %14s %14s %8.1fx\n" "" name
+          (pretty_ns stream) (pretty_ns eager) speedup
+      in
+      List.iter (fun (name, src) -> measure ~name ~gate:true src) early_queries;
+      List.iter (fun (name, src) -> measure ~name ~gate:false src) aa_queries)
+    sizes;
+  write_json ~file:"BENCH_T11.json" (List.rev !entries);
+  print_endline
+    "\nshape check: early-exit queries cost O(1) in n under streaming and\n\
+     O(n) eagerly; the A/A rows consume everything and must tie. Both\n\
+     columns compute identical results (the ablation switch is the\n\
+     test oracle).";
+  if check then begin
+    (* gate (a): enough early-exit workloads clear the speedup bar *)
+    if !wins < 2 then begin
+      Printf.eprintf
+        "T11 FAIL: only %d early-exit queries cleared the speedup bar\n" !wins;
+      exit 1
+    end;
+    (* gate (b): full-materialisation A/A within 10%, retried to absorb
+       scheduler hiccups (same policy as T9) *)
+    let doc = t11_doc n_max in
+    let rec aa tries (name, src) =
+      let q =
+        Xquery.Engine.compile ~static:(Xquery.Engine.default_static ()) src
+      in
+      let run () =
+        ignore
+          (Sys.opaque_identity
+             (Xquery.Engine.run ~context_item:(Xdm_item.Node doc) q))
+      in
+      let stream = with_streaming true (fun () -> ns_per_run run) in
+      let eager = with_streaming false (fun () -> ns_per_run run) in
+      let delta = (stream -. eager) /. eager in
+      Printf.printf "A/A %s delta (try %d): %+.1f%%\n" name tries
+        (100. *. delta);
+      if delta <= 0.10 then ()
+      else if tries >= 3 then begin
+        Printf.eprintf
+          "T11 FAIL: streaming regresses %s by more than 10%% after 3 tries\n"
+          name;
+        exit 1
+      end
+      else aa (tries + 1) (name, src)
+    in
+    List.iter (aa 1) aa_queries;
+    print_endline "T11 check: results identical, speedup bar met, A/A ties"
+  end
+
 let () =
   let only = ref [] in
   let check = ref false in
@@ -876,4 +1007,5 @@ let () =
   run "t8" bench_t8;
   run "t9" (bench_t9 ~check:!check ?trace_file:!trace_file);
   run "t10" (bench_t10 ~check:!check);
+  run "t11" (bench_t11 ~check:!check);
   print_endline "\ndone."

@@ -70,11 +70,24 @@ let cache_stats_arg =
     & info [ "cache-stats" ]
         ~doc:"Print query-cache statistics (hits, misses, evictions, bytes saved) after the run.")
 
+let no_streaming_arg =
+  Arg.(
+    value & flag
+    & info [ "no-streaming" ]
+        ~doc:
+          "Disable the lazy streaming pipeline: sequences are fully \
+           materialised and early-exit consumers (exists, head, bounded \
+           positional takes, ...) drain their inputs (A/B baseline for \
+           streaming). Combine with --metrics to compare the \
+           xdm.seq.pulls / xdm.seq.materializations counters.")
+
 let obs_setup ~trace ~metrics =
   if trace <> None then Obs.Trace.set_enabled true;
   if metrics || trace <> None then Obs.Metrics.set_enabled true
 
 let cache_setup ~no_cache = if no_cache then Xquery.Query_cache.set_enabled false
+let streaming_setup ~no_streaming =
+  if no_streaming then Xquery.Eval.set_streaming false
 
 let cache_report ~cache_stats =
   if cache_stats then begin
@@ -129,9 +142,10 @@ let eval_cmd =
   let optimize =
     Arg.(value & opt bool true & info [ "optimize" ] ~doc:"Run the rewrite optimizer.")
   in
-  let run expr optimize trace metrics no_cache cache_stats =
+  let run expr optimize trace metrics no_cache cache_stats no_streaming =
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
+    streaming_setup ~no_streaming;
     handle (fun () ->
         print_result (Xquery.Engine.eval_string ~optimize expr);
         obs_report ~trace ~metrics;
@@ -140,15 +154,16 @@ let eval_cmd =
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate an XQuery expression")
     Term.(
       const run $ expr $ optimize $ trace_arg $ metrics_arg $ no_cache_arg
-      $ cache_stats_arg)
+      $ cache_stats_arg $ no_streaming_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xq") in
-  let run file trace metrics no_cache cache_stats =
+  let run file trace metrics no_cache cache_stats no_streaming =
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
+    streaming_setup ~no_streaming;
     handle (fun () ->
         print_result (Xquery.Engine.eval_string (read_file file));
         obs_report ~trace ~metrics;
@@ -158,7 +173,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an XQuery program file")
     Term.(
       const run $ file $ trace_arg $ metrics_arg $ no_cache_arg
-      $ cache_stats_arg)
+      $ cache_stats_arg $ no_streaming_arg)
 
 (* ---- page ---- *)
 
@@ -202,13 +217,14 @@ let page_cmd =
              seed replays the exact same schedule.")
   in
   let run file clicks types show_doc render uppercase query fault_rate seed
-      trace metrics no_cache cache_stats =
+      trace metrics no_cache cache_stats no_streaming =
     if fault_rate < 0. || fault_rate >= 1. then begin
       Printf.eprintf "error: --fault-rate must be in [0, 1), got %g\n" fault_rate;
       exit 2
     end;
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
+    streaming_setup ~no_streaming;
     handle (fun () ->
         Minijs.Js_interp.install ();
         let b =
@@ -284,7 +300,7 @@ let page_cmd =
     Term.(
       const run $ file $ clicks $ types $ show_doc $ render $ uppercase $ query
       $ fault_rate $ seed $ trace_arg $ metrics_arg $ no_cache_arg
-      $ cache_stats_arg)
+      $ cache_stats_arg $ no_streaming_arg)
 
 (* ---- migrate ---- *)
 

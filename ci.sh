@@ -7,6 +7,10 @@
 # The T10 line gates the compiled-query cache: it fails if a cache-on
 # page render differs from cache-off, if a warm re-compile records zero
 # cache hits, or if the warm speedup drops below 5x.
+# The T11 line gates the streaming pipeline: it fails if streaming and
+# eager evaluation disagree on any benchmark query, if fewer than two
+# early-exit queries clear the speedup bar, or if streaming regresses a
+# full-materialisation workload by more than 10%.
 set -eu
 cd "$(dirname "$0")"
 dune build @all
@@ -14,3 +18,4 @@ dune runtest
 dune exec bench/main.exe -- --smoke > /dev/null
 dune exec bench/main.exe -- --smoke --only t9 --check --trace /tmp/xqib_trace.json > /dev/null
 dune exec bench/main.exe -- --smoke --only t10 --check > /dev/null
+dune exec bench/main.exe -- --smoke --only t11 --check > /dev/null

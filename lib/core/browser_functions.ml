@@ -226,6 +226,13 @@ let install (b : Browser.t) (window : Windows.t) sctx =
         (string_of_int (Xquery.Query_cache.generation Xquery.Engine.query_cache));
       attr qc "cost-saved" (string_of_int s.Xquery.Query_cache.cost_saved);
       Dom.append_child ~parent:root qc;
+      let st = Dom.create_element (Qname.make "streaming") in
+      attr st "enabled" (string_of_bool (Xquery.Eval.streaming_enabled ()));
+      attr st "pulls"
+        (string_of_int (Obs.Metrics.counter Xdm_seq.pulls_metric));
+      attr st "materializations"
+        (string_of_int (Obs.Metrics.counter Xdm_seq.materialize_metric));
+      Dom.append_child ~parent:root st;
       [ I.Node root ]);
 
   (* document write (the paper notes best practice is XDM updates) *)

@@ -14,6 +14,15 @@ let type_err fmt = err Xq_error.type_error_code fmt
 
 let max_depth = 4000
 
+(* Streaming ablation switch (mirrors Dom.set_acceleration). When on,
+   early-exit consumers — EBV contexts, quantifiers, fn:exists/empty/
+   head/subsequence, bounded count comparisons, positional takes —
+   pull items through lazy Xdm_seq cursors instead of materialising
+   whole sequences. The eager path is kept intact as the oracle. *)
+let streaming = ref true
+let set_streaming b = streaming := b
+let streaming_enabled () = !streaming
+
 (* wrap Xdm exceptions into Xq_error *)
 let guard f =
   try f () with
@@ -170,6 +179,107 @@ let step_nodes axis (test : Ast.node_test) n =
   | _ -> List.filter (node_test_matches ~axis test) (axis_nodes axis n)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming: lazy axis producers and static shape analyses            *)
+
+(* lazy pre-order walks; the only truly incremental axes are the
+   downward ones (children lists are already materialised in the DOM) *)
+let rec subtree_seq n () = Seq.Cons (n, descendants_seq n)
+
+and descendants_seq n () =
+  Seq.concat_map subtree_seq (List.to_seq (Dom.children n)) ()
+
+let axis_seq (axis : Ast.axis) node : Dom.node Seq.t =
+  match axis with
+  | Ast.Child -> List.to_seq (Dom.children node)
+  | Ast.Descendant -> descendants_seq node
+  | Ast.Descendant_or_self -> subtree_seq node
+  | Ast.Attribute_axis -> List.to_seq (Dom.attributes node)
+  | Ast.Self -> Seq.return node
+  | _ ->
+      (* the remaining axes are list-producing anyway; delay the
+         materialisation until the first pull *)
+      fun () -> List.to_seq (axis_nodes axis node) ()
+
+(* axes that emit distinct nodes in document order when expanded from
+   a single origin node *)
+let forward_ordered = function
+  | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Attribute_axis
+  | Ast.Self | Ast.Following_sibling | Ast.Following ->
+      true
+  | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Preceding_sibling
+  | Ast.Preceding ->
+      false
+
+(* Static sequence-shape lattice for the sorted-distinct-nodes flag:
+   [`One] — at most one node; [`Sorted] — distinct nodes in document
+   order; [`Unknown] — no guarantee. A step chain whose class is not
+   [`Unknown] can stream without the document_order re-sort: a forward
+   axis from a single origin emits document order directly, and
+   self/attribute steps over a sorted stream keep it sorted. A child or
+   descendant step over a *multi-node* sorted stream is not
+   order-preserving in general (ancestor/descendant origins interleave),
+   so it stays [`Unknown] and evaluates eagerly. *)
+let rec seq_class (e : Ast.expr) : [ `One | `Sorted | `Unknown ] =
+  match e with
+  | Ast.E_root | Ast.E_context_item -> `One
+  | Ast.E_step (axis, _, _) ->
+      (* a bare step expands the (single) context item *)
+      if forward_ordered axis then `Sorted else `Unknown
+  | Ast.E_path (e1, Ast.E_step (axis, _, _)) -> (
+      match seq_class e1 with
+      | `One -> if forward_ordered axis then `Sorted else `Unknown
+      | `Sorted -> (
+          match axis with
+          | Ast.Self | Ast.Attribute_axis -> `Sorted
+          | _ -> `Unknown)
+      | `Unknown -> `Unknown)
+  | Ast.E_filter (e1, _) -> seq_class e1 (* predicates keep a subsequence *)
+  | _ -> `Unknown
+
+(* Early-exit predicate shapes: a numeric literal [k], or
+   position() compared against an integer literal. [`Nth k] selects
+   one item, [`First k] a bounded prefix — both stop pulling. *)
+let is_position_call = function
+  | Ast.E_call ({ Qname.local = "position"; uri = Some u; _ }, []) ->
+      u = Qname.Ns.fn
+  | _ -> false
+
+let take_shape (pred : Ast.expr) =
+  let of_comp (op : Ast.value_comp) k =
+    match op with
+    | Ast.Eq -> Some (`Nth k)
+    | Ast.Le -> Some (`First k)
+    | Ast.Lt -> Some (`First (k - 1))
+    | Ast.Ne | Ast.Gt | Ast.Ge -> None
+  in
+  match pred with
+  | Ast.E_literal (A.Integer k) -> Some (`Nth k)
+  | Ast.E_value_comp (op, p, Ast.E_literal (A.Integer k))
+  | Ast.E_general_comp (op, p, Ast.E_literal (A.Integer k))
+    when is_position_call p ->
+      of_comp op k
+  | Ast.E_value_comp (op, Ast.E_literal (A.Integer k), p)
+  | Ast.E_general_comp (op, Ast.E_literal (A.Integer k), p)
+    when is_position_call p ->
+      of_comp (Optimizer.mirror_comp op) k
+  | _ -> None
+
+(* operand forms whose lazy evaluation can skip meaningful work; tiny
+   forms (a bare step, a variable, a literal) are cheaper eagerly and
+   dominate predicate bodies evaluated once per context node *)
+let worth_streaming = function
+  | Ast.E_path _ | Ast.E_filter _ | Ast.E_range _ | Ast.E_flwor _ -> true
+  | _ -> false
+
+(* does the final step/filter of [e] carry a bounded take, making a
+   top-level streamed evaluation worthwhile? *)
+let rec has_bounded_take = function
+  | Ast.E_step (_, _, preds) | Ast.E_filter (_, preds) ->
+      List.exists (fun p -> Option.is_some (take_shape p)) preds
+  | Ast.E_path (_, e2) -> has_bounded_take e2
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
 (* Comparison helpers                                                  *)
 
 let value_compare_pair op a b =
@@ -269,33 +379,45 @@ let rec eval (ctx : D.t) (e : Ast.expr) : I.sequence =
   | Ast.E_context_item -> [ D.focus_item ctx ]
   | Ast.E_sequence es -> List.concat_map (eval ctx) es
   | Ast.E_range (a, b) -> (
-      let intv e =
-        match I.opt_atomic (eval ctx e) with
-        | None -> None
-        | Some a -> (
-            match guard (fun () -> A.cast ~target:A.T_integer a) with
-            | A.Integer i -> Some i
-            | _ -> None)
-      in
-      match (intv a, intv b) with
-      | Some lo, Some hi when lo <= hi ->
+      match range_bounds ctx a b with
+      | Some (lo, hi) ->
           List.init (hi - lo + 1) (fun i -> I.Atomic (A.Integer (lo + i)))
-      | _ -> [])
+      | None -> [])
   | Ast.E_if (c, t, f) ->
-      if I.effective_boolean (eval ctx c) then eval ctx t else eval ctx f
+      if ebv_stream ctx c then eval ctx t else eval ctx f
   | Ast.E_or (a, b) ->
-      if I.effective_boolean (eval ctx a) then [ I.Atomic (A.Boolean true) ]
-      else [ I.Atomic (A.Boolean (I.effective_boolean (eval ctx b))) ]
+      if ebv_stream ctx a then [ I.Atomic (A.Boolean true) ]
+      else [ I.Atomic (A.Boolean (ebv_stream ctx b)) ]
   | Ast.E_and (a, b) ->
-      if not (I.effective_boolean (eval ctx a)) then
-        [ I.Atomic (A.Boolean false) ]
-      else [ I.Atomic (A.Boolean (I.effective_boolean (eval ctx b))) ]
+      if not (ebv_stream ctx a) then [ I.Atomic (A.Boolean false) ]
+      else [ I.Atomic (A.Boolean (ebv_stream ctx b)) ]
+  (* count(e) compared against an integer literal: pull at most k+1
+     items instead of counting the whole sequence (the optimizer
+     normalises literal-on-the-left shapes into these) *)
+  | Ast.E_value_comp (op, Ast.E_call (qn, [ arg ]), Ast.E_literal (A.Integer k))
+  | Ast.E_general_comp (op, Ast.E_call (qn, [ arg ]), Ast.E_literal (A.Integer k))
+    when !streaming && resolves_to_builtin ctx qn "count" ~arity:1 ->
+      bounded_count ctx op arg k
+  | Ast.E_value_comp (op, Ast.E_literal (A.Integer k), Ast.E_call (qn, [ arg ]))
+  | Ast.E_general_comp (op, Ast.E_literal (A.Integer k), Ast.E_call (qn, [ arg ]))
+    when !streaming && resolves_to_builtin ctx qn "count" ~arity:1 ->
+      bounded_count ctx (Optimizer.mirror_comp op) arg k
   | Ast.E_value_comp (op, a, b) -> (
       let va = I.atomize (eval ctx a) and vb = I.atomize (eval ctx b) in
       match (va, vb) with
       | [], _ | _, [] -> []
       | [ x ], [ y ] -> [ I.Atomic (A.Boolean (value_compare_pair op x y)) ]
       | _ -> type_err "value comparison requires singleton operands")
+  | Ast.E_general_comp (op, a, b) when !streaming && worth_streaming a ->
+      (* existential semantics: materialise the (usually small) rhs,
+         stream the lhs and stop at the first matching pair *)
+      let vb = I.atomize (eval ctx b) in
+      let result =
+        Seq.exists
+          (fun x -> List.exists (fun y -> general_compare_pair op x y) vb)
+          (atomize_seq (eval_seq ctx a))
+      in
+      [ I.Atomic (A.Boolean result) ]
   | Ast.E_general_comp (op, a, b) ->
       let va = I.atomize (eval ctx a) and vb = I.atomize (eval ctx b) in
       let result =
@@ -372,6 +494,18 @@ let rec eval (ctx : D.t) (e : Ast.expr) : I.sequence =
       match D.focus_item ctx with
       | I.Node n -> [ I.Node (Dom.root n) ]
       | I.Atomic _ -> type_err "the context item for '/' is not a node")
+  (* a bounded positional take in the final step ((//x)[1],
+     //x[position() le 10]): stream and stop pulling at the bound.
+     E_path streams only when its chain is provably document-ordered
+     (seq_class), so no re-sort is skipped unsoundly. *)
+  | (Ast.E_step _ | Ast.E_filter _) as e
+    when !streaming && has_bounded_take e && not (Ast.is_updating e) ->
+      Xdm_seq.to_list (eval_seq ctx e)
+  | Ast.E_path _
+    when !streaming && has_bounded_take e
+         && seq_class e <> `Unknown
+         && not (Ast.is_updating e) ->
+      Xdm_seq.to_list (eval_seq ctx e)
   | Ast.E_step (axis, test, preds) -> (
       match D.focus_item ctx with
       | I.Atomic _ -> type_err "axis step applied to an atomic context item"
@@ -403,6 +537,29 @@ let rec eval (ctx : D.t) (e : Ast.expr) : I.sequence =
       apply_predicates ctx items preds
   | Ast.E_flwor { clauses; where; order; return } ->
       eval_flwor ctx ~clauses ~where ~order ~return
+  | Ast.E_quantified (quant, binds, body) when !streaming ->
+      (* pull binding sources lazily; exists/for_all stop at the first
+         deciding item *)
+      let rec go ctx = function
+        | [] -> ebv_stream ctx body
+        | (var, var_type, src) :: rest ->
+            let items = Xdm_seq.items (eval_seq ctx src) in
+            let items =
+              match var_type with
+              | Some st ->
+                  Seq.map
+                    (fun it ->
+                      List.hd
+                        (Seq_type.coerce ~what:"quantifier binding" st [ it ]))
+                    items
+              | None -> items
+            in
+            let test item = go (D.bind ctx var [ item ]) rest in
+            (match quant with
+            | Ast.Some_quant -> Seq.exists test items
+            | Ast.Every_quant -> Seq.for_all test items)
+      in
+      [ I.Atomic (A.Boolean (go ctx binds)) ]
   | Ast.E_quantified (quant, binds, body) ->
       let rec go ctx = function
         | [] -> I.effective_boolean (eval ctx body)
@@ -687,7 +844,7 @@ and eval_flwor ctx ~clauses ~where ~order ~return =
   let tuples =
     match where with
     | None -> tuples
-    | Some w -> List.filter (fun c -> I.effective_boolean (eval c w)) tuples
+    | Some w -> List.filter (fun c -> ebv_stream c w) tuples
   in
   let tuples =
     if order = [] then tuples
@@ -860,8 +1017,310 @@ and build_call_ctx (ctx : D.t) =
   }
 
 and eval_call ctx qn arg_exprs =
-  let args = List.map (eval ctx) arg_exprs in
-  call_function ctx qn args
+  match (if !streaming then streaming_call ctx qn arg_exprs else None) with
+  | Some r -> r
+  | None ->
+      let args = List.map (eval ctx) arg_exprs in
+      call_function ctx qn args
+
+(* ---- streaming machinery ---- *)
+
+and range_bounds ctx a b =
+  let intv e =
+    match I.opt_atomic (eval ctx e) with
+    | None -> None
+    | Some a -> (
+        match guard (fun () -> A.cast ~target:A.T_integer a) with
+        | A.Integer i -> Some i
+        | _ -> None)
+  in
+  match (intv a, intv b) with
+  | Some lo, Some hi when lo <= hi -> Some (lo, hi)
+  | _ -> None
+
+and ebv_stream ctx e =
+  if !streaming then Xdm_seq.effective_boolean (eval_seq ctx e)
+  else I.effective_boolean (eval ctx e)
+
+and atomize_seq cur =
+  Seq.concat_map (fun it -> List.to_seq (I.atomize [ it ])) (Xdm_seq.items cur)
+
+(* count(e) op k with m = min(count(e), k+1) pulled items:
+   m op k ⟺ count(e) op k for every comparison operator *)
+and bounded_count ctx op arg k =
+  let bound = if k >= max_int - 1 then max_int else max 0 (k + 1) in
+  let m = Seq.length (Seq.take bound (Xdm_seq.items (eval_seq ctx arg))) in
+  let r =
+    match (op : Ast.value_comp) with
+    | Ast.Eq -> m = k
+    | Ast.Ne -> m <> k
+    | Ast.Lt -> m < k
+    | Ast.Le -> m <= k
+    | Ast.Gt -> m > k
+    | Ast.Ge -> m >= k
+  in
+  [ I.Atomic (A.Boolean r) ]
+
+(* does [qn] resolve to the fn: builtin [name] (not shadowed by a
+   user declaration or an external binding, not security-blocked)? *)
+and resolves_to_builtin ctx qn name ~arity =
+  qn.Qname.uri = Some Qname.Ns.fn
+  && String.equal qn.Qname.local name
+  && (not (Static_context.is_blocked ctx.D.static qn))
+  && Option.is_none (Static_context.find_function ctx.D.static qn ~arity)
+  && Option.is_none (Static_context.find_external ctx.D.static qn ~arity)
+
+(* Early-exit builtins take their arguments as cursors: fn:exists /
+   fn:empty / fn:head pull at most one item, EBV-based fn:boolean /
+   fn:not at most two, fn:subsequence a bounded prefix. Only fires
+   when the name resolves to the builtin. *)
+and streaming_call ctx qn arg_exprs =
+  let builtin name =
+    resolves_to_builtin ctx qn name ~arity:(List.length arg_exprs)
+  in
+  let count_call () =
+    if !Obs.Metrics.enabled then begin
+      Obs.Metrics.incr "eval.calls";
+      Obs.Metrics.incr "eval.calls.builtin"
+    end
+  in
+  let bool1 b =
+    count_call ();
+    Some [ I.Atomic (A.Boolean b) ]
+  in
+  match arg_exprs with
+  | [ e ] when builtin "exists" ->
+      bool1 (not (Xdm_seq.is_empty (eval_seq ctx e)))
+  | [ e ] when builtin "empty" -> bool1 (Xdm_seq.is_empty (eval_seq ctx e))
+  | [ e ] when builtin "head" ->
+      count_call ();
+      Some
+        (match Xdm_seq.head (eval_seq ctx e) with
+        | Some it -> [ it ]
+        | None -> [])
+  | [ e ] when builtin "boolean" ->
+      bool1 (Xdm_seq.effective_boolean (eval_seq ctx e))
+  | [ e ] when builtin "not" ->
+      bool1 (not (Xdm_seq.effective_boolean (eval_seq ctx e)))
+  | ([ _; _ ] | [ _; _; _ ]) when builtin "subsequence" ->
+      count_call ();
+      Some (subsequence_stream ctx arg_exprs)
+  | _ -> None
+
+(* mirrors the eager fn:subsequence exactly (round-to-nearest bounds,
+   NaN → empty), but pulls only the ceil(upto)-1 prefix *)
+and subsequence_stream ctx arg_exprs =
+  let e, start_e, len_e =
+    match arg_exprs with
+    | [ e; s ] -> (e, s, None)
+    | [ e; s; l ] -> (e, s, Some l)
+    | _ -> assert false
+  in
+  let num x =
+    guard (fun () -> I.item_number (I.Atomic (I.singleton_atomic (eval ctx x))))
+  in
+  let start = num start_e in
+  let len =
+    match len_e with Some l -> num l | None -> Float.infinity
+  in
+  let from = Float.floor (start +. 0.5) in
+  let upto =
+    if len = Float.infinity then Float.infinity
+    else from +. Float.floor (len +. 0.5)
+  in
+  if Float.is_nan from || Float.is_nan upto then []
+  else begin
+    let bound =
+      if upto = Float.infinity then max_int
+      else if upto <= 1. then 0
+      else if upto >= 1e18 then max_int
+      else int_of_float (Float.ceil upto) - 1
+    in
+    let prefix = Seq.take bound (Xdm_seq.items (eval_seq ctx e)) in
+    List.of_seq
+      (Seq.map snd
+         (Seq.filter
+            (fun (i, _) ->
+              let fi = float_of_int (i + 1) in
+              fi >= from && fi < upto)
+            (Seq.mapi (fun i x -> (i, x)) prefix)))
+  end
+
+(* the lazy mirror of [eval]: returns a pull cursor. Only expression
+   forms that genuinely benefit stream; everything else — and every
+   updating expression, whose pending-update side effects must not be
+   skipped — falls back to the eager evaluator. *)
+and eval_seq (ctx : D.t) (e : Ast.expr) : Xdm_seq.t =
+  if (not !streaming) || Ast.is_updating e then Xdm_seq.of_list (eval ctx e)
+  else
+    match e with
+    | Ast.E_sequence es ->
+        List.fold_left
+          (fun acc e ->
+            Xdm_seq.append acc
+              (Xdm_seq.make (fun () -> Xdm_seq.items (eval_seq ctx e) ())))
+          Xdm_seq.empty es
+    | Ast.E_range (a, b) -> (
+        match range_bounds ctx a b with
+        | Some (lo, hi) ->
+            Xdm_seq.of_seq
+              (Seq.map
+                 (fun i -> I.Atomic (A.Integer i))
+                 (Seq.init (hi - lo + 1) (fun i -> lo + i)))
+        | None -> Xdm_seq.empty)
+    | Ast.E_if (c, t, f) ->
+        if ebv_stream ctx c then eval_seq ctx t else eval_seq ctx f
+    | Ast.E_step (axis, test, preds) -> (
+        match D.focus_item ctx with
+        | I.Atomic _ -> type_err "axis step applied to an atomic context item"
+        | I.Node n -> step_stream ctx axis test preds n)
+    | Ast.E_path (e1, Ast.E_step (axis, test, preds))
+      when (match seq_class e1 with
+           | `One -> forward_ordered axis
+           | `Sorted -> (
+               match axis with
+               | Ast.Self | Ast.Attribute_axis -> true
+               | _ -> false)
+           | `Unknown -> false) ->
+        (* the chain provably emits distinct nodes in document order:
+           stream it, skipping the document_order re-sort *)
+        let lhs = eval_seq ctx e1 in
+        Xdm_seq.make ~sorted:true
+          (Seq.concat_map
+             (fun item ->
+               match item with
+               | I.Node n -> Xdm_seq.items (step_stream ctx axis test preds n)
+               | I.Atomic _ -> type_err "path step applied to an atomic value")
+             (Xdm_seq.items lhs))
+    | Ast.E_filter (e1, preds) ->
+        apply_predicates_seq ctx (eval_seq ctx e1) preds
+    | Ast.E_flwor { clauses; where; order = []; return } ->
+        flwor_seq ctx clauses where return
+    | _ -> Xdm_seq.of_list (eval ctx e)
+
+and step_stream ctx axis test preds n =
+  let nodes =
+    match (axis, test) with
+    | ( (Ast.Descendant | Ast.Descendant_or_self),
+        ((Ast.Local_wildcard _ | Ast.Name_test _) as t) )
+      when Dom.acceleration_enabled () ->
+        (* the local-name index bucket is already materialised in
+           document order; stream it with lazy refinement instead of
+           the eager fast path's List.filter copies *)
+        fun () ->
+          if !Obs.Metrics.enabled then begin
+            Obs.Metrics.incr "eval.steps";
+            Obs.Metrics.incr (axis_metric axis);
+            Obs.Metrics.incr "eval.step.desc-index"
+          end;
+          let local, refine =
+            match t with
+            | Ast.Local_wildcard l -> (l, None)
+            | Ast.Name_test qn ->
+                ( qn.Qname.local,
+                  Some
+                    (fun m ->
+                      match Dom.name m with
+                      | Some nm -> Qname.equal nm qn
+                      | None -> false) )
+            | _ -> assert false (* excluded by the outer pattern *)
+          in
+          let s = List.to_seq (Dom.get_elements_by_local_name n local) in
+          let s = match refine with None -> s | Some f -> Seq.filter f s in
+          let s =
+            match axis with
+            | Ast.Descendant -> Seq.filter (fun m -> not (Dom.equal m n)) s
+            | _ -> s
+          in
+          s ()
+    | _ ->
+        if !Obs.Metrics.enabled then begin
+          Obs.Metrics.incr "eval.steps";
+          Obs.Metrics.incr (axis_metric axis)
+        end;
+        Seq.filter (node_test_matches ~axis test) (axis_seq axis n)
+  in
+  let cur = Xdm_seq.of_node_seq ~sorted:(forward_ordered axis) nodes in
+  apply_predicates_seq ctx cur preds
+
+and apply_predicates_seq ctx cur preds =
+  List.fold_left
+    (fun cur pred ->
+      match take_shape pred with
+      | Some (`Nth k) ->
+          if k < 1 then Xdm_seq.empty
+          else
+            Xdm_seq.make ~sorted:(Xdm_seq.sorted cur) ~at_most_one:true
+              (Seq.take 1 (Seq.drop (k - 1) (Xdm_seq.items cur)))
+      | Some (`First k) -> Xdm_seq.take k cur
+      | None ->
+          if Optimizer.uses_last pred then
+            (* needs-last: the predicate observes the focus size, so
+               this stage must materialise to compute it *)
+            Xdm_seq.of_list ~sorted:(Xdm_seq.sorted cur)
+              (apply_predicates ctx (Xdm_seq.to_list cur) [ pred ])
+          else
+            (* position is free — an incremental counter; size is
+               never observed (checked above), so pass 0 *)
+            Xdm_seq.filteri
+              (fun i item ->
+                let pos = i + 1 in
+                let fctx = D.with_focus ctx item ~position:pos ~size:0 in
+                match eval fctx pred with
+                | [ I.Atomic a ] when A.is_numeric a ->
+                    guard (fun () -> A.compare_value a (A.Integer pos) = 0)
+                | v -> I.effective_boolean v)
+              cur)
+    cur preds
+
+and flwor_seq ctx clauses where return =
+  let rec expand (ctxs : D.t Seq.t) = function
+    | [] -> ctxs
+    | Ast.Let_clause { var; var_type; value } :: rest ->
+        expand
+          (Seq.map
+             (fun c ->
+               let v = eval c value in
+               let v =
+                 match var_type with
+                 | Some st ->
+                     Seq_type.coerce ~what:("$" ^ Qname.to_string var) st v
+                 | None -> v
+               in
+               D.bind c var v)
+             ctxs)
+          rest
+    | Ast.For_clause { var; pos_var; var_type; source } :: rest ->
+        expand
+          (Seq.concat_map
+             (fun c ->
+               Seq.mapi
+                 (fun i item ->
+                   let item_seq = [ item ] in
+                   let item_seq =
+                     match var_type with
+                     | Some st ->
+                         Seq_type.coerce
+                           ~what:("$" ^ Qname.to_string var)
+                           st item_seq
+                     | None -> item_seq
+                   in
+                   let c = D.bind c var item_seq in
+                   match pos_var with
+                   | Some pv -> D.bind c pv [ I.Atomic (A.Integer (i + 1)) ]
+                   | None -> c)
+                 (Xdm_seq.items (eval_seq c source)))
+             ctxs)
+          rest
+  in
+  let tuples = expand (Seq.return ctx) clauses in
+  let tuples =
+    match where with
+    | None -> tuples
+    | Some w -> Seq.filter (fun c -> ebv_stream c w) tuples
+  in
+  Xdm_seq.make
+    (Seq.concat_map (fun c -> Xdm_seq.items (eval_seq c return)) tuples)
 
 and call_function ctx qn args =
   let arity = List.length args in

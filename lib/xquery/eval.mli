@@ -22,6 +22,24 @@ val protect : (unit -> 'a) -> 'a
 
 val eval : Dynamic_context.t -> Ast.expr -> Xdm_item.sequence
 
+(** Streaming ablation switch (default on; mirrors
+    {!Dom.set_acceleration}). When enabled, early-exit consumers —
+    EBV contexts, quantifiers, [fn:exists]/[fn:empty]/[fn:head]/
+    [fn:subsequence], [fn:count] compared against an integer literal,
+    and bounded positional takes — pull items through lazy
+    {!Xdm_seq} cursors instead of materialising whole sequences.
+    When disabled, every expression evaluates eagerly (the QCheck
+    oracle path). *)
+val set_streaming : bool -> unit
+
+val streaming_enabled : unit -> bool
+
+(** Evaluate to a lazy pull cursor. Falls back to eager evaluation
+    (wrapped in a materialised cursor) when streaming is disabled,
+    for updating expressions, and for expression forms that do not
+    benefit from laziness. *)
+val eval_seq : Dynamic_context.t -> Ast.expr -> Xdm_seq.t
+
 (** Evaluate a block of statements. [script] selects scripting
     semantics (updates applied at every statement boundary, paper
     §3.3); otherwise the block must be a single expression statement. *)

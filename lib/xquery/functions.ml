@@ -486,18 +486,54 @@ let () =
           fi >= from && fi < upto)
         seq);
   fn ~local:"distinct-values" ~min_arity:1 ~max_arity:2 (fun _ args ->
-      let atoms = I.atomize (arg 0 args) in
-      let rec dedup seen = function
-        | [] -> List.rev seen
-        | a :: rest ->
-            if List.exists (fun b -> A.same_key a b) seen then dedup seen rest
-            else dedup (a :: seen) rest
+      (* Hashtable dedup keyed so that [A.same_key a b] implies
+         [dv_key a = dv_key b]. same_key partitions values into
+         comparison categories — numerics (compared after promotion,
+         NaN = NaN), untyped/string/anyURI (compared as strings),
+         booleans, QNames, per-constructor date/times, durations —
+         with cross-category pairs incomparable, hence distinct.
+         Key collisions (huge ints beyond float precision, the coarse
+         per-family date/duration buckets) are resolved by a same_key
+         scan within the bucket, so semantics are unchanged — only the
+         quadratic [List.exists] over all seen values is gone. *)
+      let dv_key (a : A.t) =
+        match a with
+        | A.Integer i ->
+            (* distinct big ints can collide on the same float key;
+               the bucket's same_key scan (exact Int.compare) resolves *)
+            "N:" ^ string_of_float (float_of_int i)
+        | A.Decimal f | A.Double f ->
+            if Float.is_nan f then "N:nan" else "N:" ^ string_of_float f
+        | A.Untyped s | A.String s | A.Any_uri s -> "S:" ^ s
+        | A.Boolean b -> if b then "B:1" else "B:0"
+        | A.Qname_v q -> "Q:" ^ Qname.to_clark q
+        | A.Date _ -> "D:date"
+        | A.Time _ -> "D:time"
+        | A.Date_time _ -> "D:date-time"
+        | A.Duration _ | A.Year_month_duration _ | A.Day_time_duration _ ->
+            "DUR"
       in
-      List.map (fun a -> I.Atomic a) (dedup [] atoms));
+      let atoms = I.atomize (arg 0 args) in
+      let seen : (string, A.t list) Hashtbl.t = Hashtbl.create 64 in
+      let out =
+        List.filter
+          (fun a ->
+            let k = dv_key a in
+            let bucket =
+              Option.value ~default:[] (Hashtbl.find_opt seen k)
+            in
+            if List.exists (fun b -> A.same_key a b) bucket then false
+            else begin
+              Hashtbl.replace seen k (a :: bucket);
+              true
+            end)
+          atoms
+      in
+      List.map (fun a -> I.Atomic a) out);
   fn ~local:"index-of" ~min_arity:2 ~max_arity:3 (fun _ args ->
+      (* 1-based positions of the items matching the search value *)
       let atoms = I.atomize (arg 0 args) in
       let target = I.singleton_atomic (arg 1 args) in
-      List.filteri (fun _ a -> A.same_key a target) atoms |> ignore;
       let _, hits =
         List.fold_left
           (fun (i, acc) a ->
@@ -611,9 +647,16 @@ let () =
       with
       | None -> []
       | Some n -> [ I.Node (Dom.root n) ]);
+  (* XPDY0002: position() and last() are errors when the focus is
+     undefined (the call context then carries no context item) *)
   fn ~local:"position" ~min_arity:0 ~max_arity:0 (fun cctx _ ->
-      int1 cctx.Call_ctx.position);
-  fn ~local:"last" ~min_arity:0 ~max_arity:0 (fun cctx _ -> int1 cctx.Call_ctx.size);
+      match cctx.Call_ctx.context_item with
+      | None -> err "XPDY0002" "fn:position: the context item is undefined"
+      | Some _ -> int1 cctx.Call_ctx.position);
+  fn ~local:"last" ~min_arity:0 ~max_arity:0 (fun cctx _ ->
+      match cctx.Call_ctx.context_item with
+      | None -> err "XPDY0002" "fn:last: the context item is undefined"
+      | Some _ -> int1 cctx.Call_ctx.size);
   fn ~local:"id" ~min_arity:1 ~max_arity:2 (fun cctx args ->
       let root =
         match arg_opt 1 args with

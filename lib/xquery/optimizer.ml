@@ -32,6 +32,15 @@ let literal_zero = function
   | Ast.E_literal (A.Integer 0) -> true
   | _ -> false
 
+(* [a op b] ⟺ [b (mirror op) a] — operand swap, not negation *)
+let mirror_comp : Ast.value_comp -> Ast.value_comp = function
+  | Ast.Eq -> Ast.Eq
+  | Ast.Ne -> Ast.Ne
+  | Ast.Lt -> Ast.Gt
+  | Ast.Le -> Ast.Ge
+  | Ast.Gt -> Ast.Lt
+  | Ast.Ge -> Ast.Le
+
 (* ------------------------------------------------------------------ *)
 (* generic one-level traversal                                         *)
 
@@ -251,6 +260,26 @@ let uses_focus e =
 
 let has_positional preds =
   List.exists (fun p -> may_yield_number p || uses_focus p) preds
+
+(* needs-last / needs-position: does [e] observe the focus [size]
+   (resp. [position])? Used by the streaming evaluator — computing a
+   focus size forces materialising the whole sequence, while position
+   is a free incremental counter. Conservative like {!uses_focus}:
+   opaque user/external calls count, because this engine keeps the
+   caller's focus visible inside function bodies. *)
+let uses_focus_component name e =
+  exists_expr
+    (function
+      | Ast.E_call ({ Qname.local; uri = Some u; _ }, [])
+        when u = Qname.Ns.fn && String.equal local name ->
+          true
+      | Ast.E_call (qn, _) ->
+          not (qn.Qname.uri = Some Qname.Ns.fn || qn.Qname.uri = Some Qname.Ns.xs)
+      | _ -> false)
+    e
+
+let uses_last e = uses_focus_component "last" e
+let uses_position e = uses_focus_component "position" e
 
 (* ------------------------------------------------------------------ *)
 (* literal let inlining                                                *)
@@ -473,6 +502,23 @@ and rules e =
   | Ast.E_value_comp (Ast.Ge, Ast.E_call (qn, [ arg ]), Ast.E_literal (A.Integer 1))
     when is_count_call qn ->
       fired (fn_call "exists" [ arg ])
+  (* count(e) < 1 / <= 0 → empty(e) *)
+  | Ast.E_general_comp (Ast.Lt, Ast.E_call (qn, [ arg ]), Ast.E_literal (A.Integer 1))
+  | Ast.E_value_comp (Ast.Lt, Ast.E_call (qn, [ arg ]), Ast.E_literal (A.Integer 1))
+    when is_count_call qn ->
+      fired (fn_call "empty" [ arg ])
+  | Ast.E_general_comp (Ast.Le, Ast.E_call (qn, [ arg ]), z)
+  | Ast.E_value_comp (Ast.Le, Ast.E_call (qn, [ arg ]), z)
+    when is_count_call qn && literal_zero z ->
+      fired (fn_call "empty" [ arg ])
+  (* normalise literal-on-the-left count comparisons so the rules
+     above — and the streaming bounded-count pull — see one shape *)
+  | Ast.E_general_comp (op, (Ast.E_literal _ as lit), (Ast.E_call (qn, [ _ ]) as c))
+    when is_count_call qn ->
+      fired (Ast.E_general_comp (mirror_comp op, c, lit))
+  | Ast.E_value_comp (op, (Ast.E_literal _ as lit), (Ast.E_call (qn, [ _ ]) as c))
+    when is_count_call qn ->
+      fired (Ast.E_value_comp (mirror_comp op, c, lit))
   (* general comparison of singleton literals → value comparison
      (skips the existential pairing loop at run time) *)
   | Ast.E_general_comp (op, (Ast.E_literal _ as a), (Ast.E_literal _ as b)) ->

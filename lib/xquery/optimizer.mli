@@ -39,3 +39,17 @@ val last_passes : unit -> int
     or a call into user code)? Conservative — unrecognized forms count
     as positional. *)
 val has_positional : Ast.expr list -> bool
+
+(** Needs-last / needs-position analyses for the streaming evaluator:
+    does the expression observe the focus [size] (resp. [position]) —
+    directly via [fn:last]/[fn:position] or through an opaque
+    user/external call (function bodies see the caller's focus)?
+    Computing a focus size forces materialisation; position streams as
+    an incremental counter. Conservative: unknown calls count. *)
+
+val uses_last : Ast.expr -> bool
+val uses_position : Ast.expr -> bool
+
+(** [a op b] ⟺ [b (mirror_comp op) a] — the operand-swap mirror of a
+    comparison operator (not its negation). *)
+val mirror_comp : Ast.value_comp -> Ast.value_comp

@@ -12,6 +12,7 @@ let () =
       ("scripting", Test_scripting.suite);
       ("properties", Test_properties.suite);
       ("optimizer", Test_optimizer.suite);
+      ("streaming", Test_streaming.suite);
       ("query-cache", Test_query_cache.suite);
       ("net", Test_net.suite);
       ("faults", Test_faults.suite);
