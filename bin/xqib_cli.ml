@@ -81,6 +81,25 @@ let no_streaming_arg =
            streaming). Combine with --metrics to compare the \
            xdm.seq.pulls / xdm.seq.materializations counters.")
 
+let no_value_index_arg =
+  Arg.(
+    value & flag
+    & info [ "no-value-index" ]
+        ~doc:
+          "Disable the DOM value indexes: [@k eq 'v']-style predicate \
+           lookups and hash-join key refinement scan the tree instead \
+           (A/B baseline for the value index). Combine with --metrics \
+           to compare the dom.value_index.hits counter.")
+
+let no_join_planner_arg =
+  Arg.(
+    value & flag
+    & info [ "no-join-planner" ]
+        ~doc:
+          "Disable the equi-join planner: two-for FLWOR joins run as \
+           nested loops instead of hash joins (A/B baseline for the \
+           planner; see the xquery.join.* counters).")
+
 let obs_setup ~trace ~metrics =
   if trace <> None then Obs.Trace.set_enabled true;
   if metrics || trace <> None then Obs.Metrics.set_enabled true
@@ -88,6 +107,10 @@ let obs_setup ~trace ~metrics =
 let cache_setup ~no_cache = if no_cache then Xquery.Query_cache.set_enabled false
 let streaming_setup ~no_streaming =
   if no_streaming then Xquery.Eval.set_streaming false
+
+let plan_setup ~no_value_index ~no_join_planner =
+  if no_value_index then Dom.set_value_index false;
+  if no_join_planner then Xquery.Optimizer.set_join_planning false
 
 let cache_report ~cache_stats =
   if cache_stats then begin
@@ -142,10 +165,12 @@ let eval_cmd =
   let optimize =
     Arg.(value & opt bool true & info [ "optimize" ] ~doc:"Run the rewrite optimizer.")
   in
-  let run expr optimize trace metrics no_cache cache_stats no_streaming =
+  let run expr optimize trace metrics no_cache cache_stats no_streaming
+      no_value_index no_join_planner =
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
     streaming_setup ~no_streaming;
+    plan_setup ~no_value_index ~no_join_planner;
     handle (fun () ->
         print_result (Xquery.Engine.eval_string ~optimize expr);
         obs_report ~trace ~metrics;
@@ -154,16 +179,19 @@ let eval_cmd =
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate an XQuery expression")
     Term.(
       const run $ expr $ optimize $ trace_arg $ metrics_arg $ no_cache_arg
-      $ cache_stats_arg $ no_streaming_arg)
+      $ cache_stats_arg $ no_streaming_arg $ no_value_index_arg
+      $ no_join_planner_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xq") in
-  let run file trace metrics no_cache cache_stats no_streaming =
+  let run file trace metrics no_cache cache_stats no_streaming no_value_index
+      no_join_planner =
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
     streaming_setup ~no_streaming;
+    plan_setup ~no_value_index ~no_join_planner;
     handle (fun () ->
         print_result (Xquery.Engine.eval_string (read_file file));
         obs_report ~trace ~metrics;
@@ -173,7 +201,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an XQuery program file")
     Term.(
       const run $ file $ trace_arg $ metrics_arg $ no_cache_arg
-      $ cache_stats_arg $ no_streaming_arg)
+      $ cache_stats_arg $ no_streaming_arg $ no_value_index_arg
+      $ no_join_planner_arg)
 
 (* ---- page ---- *)
 
@@ -217,7 +246,8 @@ let page_cmd =
              seed replays the exact same schedule.")
   in
   let run file clicks types show_doc render uppercase query fault_rate seed
-      trace metrics no_cache cache_stats no_streaming =
+      trace metrics no_cache cache_stats no_streaming no_value_index
+      no_join_planner =
     if fault_rate < 0. || fault_rate >= 1. then begin
       Printf.eprintf "error: --fault-rate must be in [0, 1), got %g\n" fault_rate;
       exit 2
@@ -225,6 +255,7 @@ let page_cmd =
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
     streaming_setup ~no_streaming;
+    plan_setup ~no_value_index ~no_join_planner;
     handle (fun () ->
         Minijs.Js_interp.install ();
         let b =
@@ -300,7 +331,8 @@ let page_cmd =
     Term.(
       const run $ file $ clicks $ types $ show_doc $ render $ uppercase $ query
       $ fault_rate $ seed $ trace_arg $ metrics_arg $ no_cache_arg
-      $ cache_stats_arg $ no_streaming_arg)
+      $ cache_stats_arg $ no_streaming_arg $ no_value_index_arg
+      $ no_join_planner_arg)
 
 (* ---- migrate ---- *)
 

@@ -67,6 +67,18 @@ and map_expr g (e : Ast.expr) : Ast.expr =
           order = List.map (fun o -> { o with Ast.key = g o.Ast.key }) order;
           return = g return;
         }
+  | Ast.E_hash_join j ->
+      Ast.E_hash_join
+        {
+          j with
+          jleft_source = g j.jleft_source;
+          jleft_key = g j.jleft_key;
+          jright_source = g j.jright_source;
+          jright_key = g j.jright_key;
+          jwhere = Option.map g j.jwhere;
+          jorder = List.map (fun o -> { o with Ast.key = g o.Ast.key }) j.jorder;
+          jreturn = g j.jreturn;
+        }
   | Ast.E_quantified (q, binds, body) ->
       Ast.E_quantified (q, List.map (fun (v, t, e) -> (v, t, g e)) binds, g body)
   | Ast.E_typeswitch (op, cases, (dv, db)) ->

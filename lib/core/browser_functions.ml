@@ -190,6 +190,9 @@ let install (b : Browser.t) (window : Windows.t) sctx =
         (Printf.sprintf "%.6f" (Virtual_clock.now b.Browser.clock));
       attr root "metrics-enabled" (string_of_bool !Obs.Metrics.enabled);
       attr root "trace-enabled" (string_of_bool !Obs.Trace.enabled);
+      attr root "value-index-enabled" (string_of_bool (Dom.value_index_enabled ()));
+      attr root "join-planning-enabled"
+        (string_of_bool (Xquery.Optimizer.join_planning_enabled ()));
       let counters = Dom.create_element (Qname.make "counters") in
       Dom.append_child ~parent:root counters;
       List.iter

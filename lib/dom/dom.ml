@@ -28,6 +28,15 @@ and accel = {
       (* id attribute value -> elements, document order *)
   by_name : (string, node list) Hashtbl.t;
       (* local name -> elements, document order *)
+  mutable vidx_gen : int;
+  by_attr_value : (string * string, node list) Hashtbl.t;
+      (* (attribute local name, value) -> owning elements, doc order *)
+  by_text_value : (string * string, node list) Hashtbl.t;
+      (* (element local name, string value) -> flat elements, doc order *)
+  text_complex : (string, unit) Hashtbl.t;
+      (* local names with at least one non-flat (element-children)
+         occurrence; text-value lookups on these names are unreliable
+         and must fall back to a scan *)
 }
 
 and payload =
@@ -150,6 +159,13 @@ let acceleration = ref true
 let set_acceleration b = acceleration := b
 let acceleration_enabled () = !acceleration
 
+(* Value indexes (attribute values and flat-element text) share the
+   accel generation counter but have their own switch, so join/lookup
+   ablations can disable them without losing document-order keys. *)
+let value_index = ref true
+let set_value_index b = value_index := b
+let value_index_enabled () = !value_index
+
 (* Mark a node's own accel state stale. Called whenever the node
    becomes parentless: its caches may describe a tree it was part of
    while attached (mutations there only bumped the attached root). *)
@@ -171,6 +187,10 @@ let accel_of r =
           idx_gen = -1;
           by_id = Hashtbl.create 16;
           by_name = Hashtbl.create 16;
+          vidx_gen = -1;
+          by_attr_value = Hashtbl.create 64;
+          by_text_value = Hashtbl.create 64;
+          text_complex = Hashtbl.create 8;
         }
       in
       r.naccel <- Some s;
@@ -711,3 +731,93 @@ let get_elements_by_local_name n local =
         | _ -> false)
       candidates
   end
+
+(* ------------------------------------------------------------------ *)
+(* Value indexes.
+
+   Two per-root hash indexes keyed by (local name, string value):
+   attribute values -> owning elements, and the string value of "flat"
+   elements (no element children, so their value is just their text
+   content) -> those elements. Both are stamped with the accel
+   generation, so any mutation under the root — including every PUL
+   primitive, which funnels through the mutators' [notify] — lazily
+   invalidates them.
+
+   Lookups return [None] whenever the index cannot answer exactly
+   (switch off, or a text lookup on a local name that somewhere in the
+   document has element children); callers must fall back to a scan.
+   Buckets are keyed by local name only, so callers refine hits against
+   the exact QName/axis they need. *)
+
+let ensure_value_indexes r s =
+  if s.vidx_gen <> s.gen then begin
+    if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.value_index.rebuild";
+    Hashtbl.reset s.by_attr_value;
+    Hashtbl.reset s.by_text_value;
+    Hashtbl.reset s.text_complex;
+    let add tbl k v =
+      Hashtbl.replace tbl k
+        (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+    in
+    let rec walk n =
+      (match n.nkind with
+      | P_element e ->
+          List.iter
+            (fun a ->
+              match a.nkind with
+              | P_attribute { aname; avalue } ->
+                  add s.by_attr_value (aname.Qname.local, avalue) n
+              | _ -> ())
+            e.eattrs;
+          let flat =
+            List.for_all
+              (fun c ->
+                match c.nkind with P_element _ -> false | _ -> true)
+              e.echildren
+          in
+          if flat then
+            add s.by_text_value (e.ename.Qname.local, string_value n) n
+          else Hashtbl.replace s.text_complex e.ename.Qname.local ()
+      | _ -> ());
+      List.iter walk (children n)
+    in
+    walk r;
+    let rev tbl = Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl in
+    rev s.by_attr_value;
+    rev s.by_text_value;
+    s.vidx_gen <- s.gen
+  end
+
+let value_lookup which n local v =
+  if not !value_index then None
+  else begin
+    let r = root n in
+    let s = accel_of r in
+    ensure_value_indexes r s;
+    let tbl, complex =
+      match which with
+      | `Attr -> (s.by_attr_value, false)
+      | `Text -> (s.by_text_value, Hashtbl.mem s.text_complex local)
+    in
+    if complex then None
+    else begin
+      if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.value_index.hits";
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt tbl (local, v)) in
+      Some
+        (if n == r then bucket
+         else List.filter (fun c -> in_subtree ~top:n c) bucket)
+    end
+  end
+
+(* Elements in the subtree of [n] (inclusive) owning an attribute with
+   the given local name and exact value, in document order. *)
+let elements_by_attr_value n ~local v = value_lookup `Attr n local v
+
+(* Flat elements in the subtree of [n] (inclusive) with the given local
+   name and exact string value, in document order. *)
+let elements_by_text_value n ~local v = value_lookup `Text n local v
+
+(* Current accel generation of the tree containing [n]; exposed so
+   tests can pin down exactly how often updates invalidate caches. *)
+let generation n =
+  match (root n).naccel with Some s -> s.gen | None -> 0

@@ -111,6 +111,37 @@ val order_key : node -> (int * int) option
 val set_acceleration : bool -> unit
 val acceleration_enabled : unit -> bool
 
+(** {1 Value indexes}
+
+    Per-root hash indexes keyed by [(local name, string value)]:
+    attribute values mapped to their owning elements, and the string
+    value of "flat" elements (no element children) mapped to those
+    elements. Stamped with the same per-root generation counter as the
+    other accel caches, so every mutation — including all PUL
+    primitives — invalidates them; they rebuild lazily on the next
+    lookup. Independent switch (on by default) so join/lookup
+    ablations keep document-order keys. *)
+
+val set_value_index : bool -> unit
+val value_index_enabled : unit -> bool
+
+(** Elements in the subtree of the given node (inclusive) owning an
+    attribute with the given local name (any namespace) and exact
+    value, in document order. [None] when the index cannot answer
+    (switch off) — fall back to a scan. *)
+val elements_by_attr_value : node -> local:string -> string -> node list option
+
+(** Flat elements in the subtree of the given node (inclusive) with
+    the given local name (any namespace) and exact string value, in
+    document order. [None] when the index cannot answer (switch off,
+    or some element with this local name has element children). *)
+val elements_by_text_value : node -> local:string -> string -> node list option
+
+(** Current accel generation of the tree containing the node (0 if no
+    accel state yet). Bumped once per mutation; lets tests pin down
+    cache-invalidation behaviour. *)
+val generation : node -> int
+
 val is_ancestor : ancestor:node -> node -> bool
 val equal : node -> node -> bool
 

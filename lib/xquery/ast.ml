@@ -65,6 +65,25 @@ and order_spec = {
   empty_greatest : bool option;  (** None = implementation default *)
 }
 
+(* [for $lv in lsource, $rv in rsource where lkey OP rkey (and
+   jwhere)? order? return jreturn], executed by hashing the right
+   (build) side on its key and probing with the left side's key.
+   [general] distinguishes existential [=] from singleton [eq]; both
+   keys are variable-rooted step paths, so their atoms are always
+   xs:untypedAtomic and compare as strings under either operator. *)
+and hash_join = {
+  jleft_var : Qname.t;
+  jleft_source : expr;
+  jleft_key : expr;  (* sees jleft_var *)
+  jright_var : Qname.t;
+  jright_source : expr;
+  jright_key : expr;  (* sees jright_var *)
+  jgeneral : bool;
+  jwhere : expr option;  (* residual conjuncts; see both variables *)
+  jorder : order_spec list;
+  jreturn : expr;
+}
+
 and flwor_clause =
   | For_clause of {
       var : Qname.t;
@@ -103,6 +122,9 @@ and expr =
       order : order_spec list;
       return : expr;
     }
+  | E_hash_join of hash_join
+      (** planner-introduced equi-join over a two-[for] FLWOR; never
+          produced by the parser *)
   | E_quantified of quantifier * (Qname.t * seq_type option * expr) list * expr
   | E_typeswitch of expr * typeswitch_case list * (Qname.t option * expr)
   | E_if of expr * expr * expr
@@ -228,6 +250,12 @@ let rec is_updating = function
       || Option.fold ~none:false ~some:is_updating where
       || List.exists (fun o -> is_updating o.key) order
       || is_updating return
+  | E_hash_join j ->
+      is_updating j.jleft_source || is_updating j.jleft_key
+      || is_updating j.jright_source || is_updating j.jright_key
+      || Option.fold ~none:false ~some:is_updating j.jwhere
+      || List.exists (fun o -> is_updating o.key) j.jorder
+      || is_updating j.jreturn
   | E_quantified (_, binds, body) ->
       List.exists (fun (_, _, e) -> is_updating e) binds || is_updating body
   | E_typeswitch (e, cases, (_, dflt)) ->

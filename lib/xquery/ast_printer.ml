@@ -236,6 +236,40 @@ let rec expr b (e : expr) =
       end;
       p "return ";
       paren return
+  | E_hash_join j ->
+      (* pseudo-syntax: not parseable, but round-trips the plan shape
+         for golden tests and EXPLAIN-style debugging *)
+      p ("hash-join for $" ^ qname j.jleft_var ^ " in ");
+      paren j.jleft_source;
+      p (", $" ^ qname j.jright_var ^ " in ");
+      paren j.jright_source;
+      p " on ";
+      paren j.jleft_key;
+      p (if j.jgeneral then " = " else " eq ");
+      paren j.jright_key;
+      p " ";
+      Option.iter
+        (fun w ->
+          p "where ";
+          paren w;
+          p " ")
+        j.jwhere;
+      if j.jorder <> [] then begin
+        p "order by ";
+        List.iteri
+          (fun i spec ->
+            if i > 0 then p ", ";
+            paren spec.key;
+            if spec.descending then p " descending";
+            match spec.empty_greatest with
+            | Some true -> p " empty greatest"
+            | Some false -> p " empty least"
+            | None -> ())
+          j.jorder;
+        p " "
+      end;
+      p "return ";
+      paren j.jreturn
   | E_quantified (q, binds, body) ->
       p (match q with Some_quant -> "some " | Every_quant -> "every ");
       List.iteri

@@ -96,7 +96,11 @@ let replay compiled static =
     compiled.prog.Ast.prolog
 
 let cache_key ~optimize fingerprint source =
-  (if optimize then "O1|" else "O0|") ^ fingerprint ^ "|" ^ source
+  (* the join-planning switch changes what [optimize] produces, so it
+     must key the cache too or toggling it would serve stale plans *)
+  (if optimize then "O1|" else "O0|")
+  ^ (if Optimizer.join_planning_enabled () then "J1|" else "J0|")
+  ^ fingerprint ^ "|" ^ source
 
 let compile_cached ?(optimize = true) ?static source =
   if not !Query_cache.enabled then compile ~optimize ?static source

@@ -178,6 +178,110 @@ let step_nodes axis (test : Ast.node_test) n =
              | None -> false))
   | _ -> List.filter (node_test_matches ~axis test) (axis_nodes axis n)
 
+(* Value-index lookup: answer a leading [@k eq 'lit'] / [@k = 'lit'] /
+   [k = 'lit'] predicate on a descendant step from the per-root value
+   index instead of scanning every candidate. Restricted to string
+   literals (a numeric literal against an untyped key is a type error
+   under [eq] and a double promotion under [=] — both need the scan)
+   and, for child-element text, to the general comparison ([k eq 'v']
+   must raise on an element with two [k] children; the existential [=]
+   never does). Index hits are refined against the exact QName/axis,
+   so namespace-exact semantics are preserved even though buckets are
+   keyed by local name. Returns the candidates in document order with
+   the first predicate consumed, or [None] to fall back. *)
+let value_index_step axis test preds n =
+  let applicable =
+    Dom.value_index_enabled ()
+    &&
+    match (axis : Ast.axis) with
+    | Ast.Descendant | Ast.Descendant_or_self -> (
+        match (test : Ast.node_test) with
+        | Ast.Name_test _ | Ast.Local_wildcard _ | Ast.Wildcard -> true
+        | _ -> false)
+    | _ -> false
+  in
+  if not applicable then None
+  else
+    let candidate el =
+      node_test_matches ~axis test el
+      && (match axis with Ast.Descendant -> not (Dom.equal el n) | _ -> true)
+    in
+    let finish nodes rest =
+      if !Obs.Metrics.enabled then begin
+        Obs.Metrics.incr "eval.steps";
+        Obs.Metrics.incr (axis_metric axis);
+        Obs.Metrics.incr "eval.step.value-index"
+      end;
+      Some (List.sort_uniq Dom.compare_order nodes, rest)
+    in
+    let attr_lookup qn s ~general rest =
+      match Dom.elements_by_attr_value n ~local:qn.Qname.local s with
+      | None -> None
+      | Some bucket ->
+          let keep el =
+            candidate el
+            &&
+            let matching =
+              List.filter
+                (node_test_matches ~axis:Ast.Attribute_axis (Ast.Name_test qn))
+                (Dom.attributes el)
+            in
+            if general then
+              List.exists (fun a -> Dom.string_value a = s) matching
+            else
+              match matching with
+              | [] -> false
+              | [ a ] -> Dom.string_value a = s
+              | _ -> type_err "value comparison requires singleton operands"
+          in
+          finish (List.filter keep bucket) rest
+    in
+    let child_lookup qn s rest =
+      match Dom.elements_by_text_value n ~local:qn.Qname.local s with
+      | None -> None
+      | Some bucket ->
+          let parents =
+            List.filter_map
+              (fun child ->
+                if not (node_test_matches ~axis:Ast.Child (Ast.Name_test qn) child)
+                then None
+                else if Dom.string_value child <> s then None
+                else
+                  match Dom.parent child with
+                  | Some p
+                    when Dom.kind p = Dom.Element
+                         && (Dom.equal p n || Dom.is_ancestor ~ancestor:n p)
+                         && candidate p ->
+                      Some p
+                  | _ -> None)
+              bucket
+          in
+          finish parents rest
+    in
+    match preds with
+    | pred :: rest -> (
+        let shape lhs lit general =
+          match (lhs, lit) with
+          | ( Ast.E_step (Ast.Attribute_axis, Ast.Name_test qn, []),
+              A.String s ) ->
+              attr_lookup qn s ~general rest
+          | Ast.E_step (Ast.Child, Ast.Name_test qn, []), A.String s
+            when general ->
+              child_lookup qn s rest
+          | _ -> None
+        in
+        match pred with
+        | Ast.E_value_comp (Ast.Eq, lhs, Ast.E_literal lit) ->
+            shape lhs lit false
+        | Ast.E_value_comp (Ast.Eq, Ast.E_literal lit, rhs) ->
+            shape rhs lit false
+        | Ast.E_general_comp (Ast.Eq, lhs, Ast.E_literal lit) ->
+            shape lhs lit true
+        | Ast.E_general_comp (Ast.Eq, Ast.E_literal lit, rhs) ->
+            shape rhs lit true
+        | _ -> None)
+    | [] -> None
+
 (* ------------------------------------------------------------------ *)
 (* Streaming: lazy axis producers and static shape analyses            *)
 
@@ -509,10 +613,14 @@ let rec eval (ctx : D.t) (e : Ast.expr) : I.sequence =
   | Ast.E_step (axis, test, preds) -> (
       match D.focus_item ctx with
       | I.Atomic _ -> type_err "axis step applied to an atomic context item"
-      | I.Node n ->
-          let nodes = step_nodes axis test n in
-          let items = List.map (fun n -> I.Node n) nodes in
-          apply_predicates ctx items preds)
+      | I.Node n -> (
+          match value_index_step axis test preds n with
+          | Some (nodes, rest) ->
+              apply_predicates ctx (List.map (fun m -> I.Node m) nodes) rest
+          | None ->
+              let nodes = step_nodes axis test n in
+              let items = List.map (fun n -> I.Node n) nodes in
+              apply_predicates ctx items preds))
   | Ast.E_path (e1, e2) ->
       let lhs = eval ctx e1 in
       let n = List.length lhs in
@@ -537,6 +645,10 @@ let rec eval (ctx : D.t) (e : Ast.expr) : I.sequence =
       apply_predicates ctx items preds
   | Ast.E_flwor { clauses; where; order; return } ->
       eval_flwor ctx ~clauses ~where ~order ~return
+  | Ast.E_hash_join j ->
+      let tuples = List.of_seq (hash_join_tuples ctx j) in
+      let tuples = order_tuples j.Ast.jorder tuples in
+      List.concat_map (fun c -> eval c j.Ast.jreturn) tuples
   | Ast.E_quantified (quant, binds, body) when !streaming ->
       (* pull binding sources lazily; exists/for_all stop at the first
          deciding item *)
@@ -846,53 +958,160 @@ and eval_flwor ctx ~clauses ~where ~order ~return =
     | None -> tuples
     | Some w -> List.filter (fun c -> ebv_stream c w) tuples
   in
-  let tuples =
-    if order = [] then tuples
-    else begin
-      let keyed =
-        List.map
-          (fun c ->
-            let keys =
-              List.map
-                (fun spec ->
-                  let v = I.atomize (eval c spec.Ast.key) in
-                  match v with
-                  | [] -> None
-                  | [ a ] -> Some a
-                  | _ -> type_err "order by key must be a singleton")
-                order
-            in
-            (keys, c))
-          tuples
-      in
-      let compare_keys ka kb =
-        let rec go ka kb specs =
-          match (ka, kb, specs) with
-          | [], [], _ -> 0
-          | a :: ra, b :: rb, spec :: rs ->
-              let c =
-                match (a, b) with
-                | None, None -> 0
-                | None, Some _ ->
-                    if spec.Ast.empty_greatest = Some true then 1 else -1
-                | Some _, None ->
-                    if spec.Ast.empty_greatest = Some true then -1 else 1
-                | Some x, Some y ->
-                    let x = match x with A.Untyped s -> A.String s | x -> x in
-                    let y = match y with A.Untyped s -> A.String s | y -> y in
-                    guard (fun () -> A.compare_value x y)
-              in
-              let c = if spec.Ast.descending then -c else c in
-              if c <> 0 then c else go ra rb rs
-          | _ -> 0
-        in
-        go ka kb order
-      in
-      List.stable_sort (fun (ka, _) (kb, _) -> compare_keys ka kb) keyed
-      |> List.map snd
-    end
-  in
+  let tuples = order_tuples order tuples in
   List.concat_map (fun c -> eval c return) tuples
+
+(* order-by sort over a materialised tuple (context) list; shared by
+   the FLWOR and hash-join plans *)
+and order_tuples order tuples =
+  if order = [] then tuples
+  else begin
+    let keyed =
+      List.map
+        (fun c ->
+          let keys =
+            List.map
+              (fun spec ->
+                let v = I.atomize (eval c spec.Ast.key) in
+                match v with
+                | [] -> None
+                | [ a ] -> Some a
+                | _ -> type_err "order by key must be a singleton")
+              order
+          in
+          (keys, c))
+        tuples
+    in
+    let compare_keys ka kb =
+      let rec go ka kb specs =
+        match (ka, kb, specs) with
+        | [], [], _ -> 0
+        | a :: ra, b :: rb, spec :: rs ->
+            let c =
+              match (a, b) with
+              | None, None -> 0
+              | None, Some _ ->
+                  if spec.Ast.empty_greatest = Some true then 1 else -1
+              | Some _, None ->
+                  if spec.Ast.empty_greatest = Some true then -1 else 1
+              | Some x, Some y ->
+                  let x = match x with A.Untyped s -> A.String s | x -> x in
+                  let y = match y with A.Untyped s -> A.String s | y -> y in
+                  guard (fun () -> A.compare_value x y)
+            in
+            let c = if spec.Ast.descending then -c else c in
+            if c <> 0 then c else go ra rb rs
+        | _ -> 0
+      in
+      go ka kb order
+    in
+    List.stable_sort (fun (ka, _) (kb, _) -> compare_keys ka kb) keyed
+    |> List.map snd
+  end
+
+(* Hash-join execution (planner-introduced; see Optimizer's join
+   section). The right (build) side is hashed on its key's string
+   atoms — both keys are variable-rooted node paths, so every atom is
+   xs:untypedAtomic and string equality is exactly the comparison
+   semantics of [eq] and of untyped-vs-untyped [=]. The left (probe)
+   side streams through; tuples come out probe-major with build-side
+   matches in source order, i.e. the nested-loop tuple order.
+
+   Error parity with the nested-loop plan: the build is forced lazily
+   at the first probe item, so an empty left source never evaluates
+   the right source (the eager plan's second for clause expands an
+   empty tuple set); an empty *right source* skips probe-key
+   evaluation the same way (no tuples, so the eager where never
+   runs). A multi-valued [eq] key is a singleton type error under the
+   nested-loop plan only for pairs where the *other* operand is
+   non-empty (empty operands make the comparison empty, hence false,
+   before the cardinality of the other side matters) — so a
+   multi-valued build key marks its position instead of raising, and
+   each probe item with a non-empty key yields its matches from
+   earlier build rows and then raises lazily when the consumer pulls
+   past them, mirroring the nested loop's pair-by-pair order (an
+   early-exiting consumer may stop before the erroring pair). Which
+   of several inevitable errors is reported may still differ from the
+   eager plan's pair order — XQuery §2.3.4 allows that reordering. *)
+and hash_join_tuples ctx (j : Ast.hash_join) : D.t Seq.t =
+  let table =
+    lazy
+      (let right = eval ctx j.Ast.jright_source in
+       if !Obs.Metrics.enabled then Obs.Metrics.incr "xquery.join.hash_builds";
+       let tbl : (string, (int * I.item) list) Hashtbl.t =
+         Hashtbl.create (max 16 (List.length right))
+       in
+       (* first build row whose [eq] key has 2+ atoms: its pairs are
+          singleton type errors for every non-empty probe key *)
+       let pidx = ref max_int in
+       List.iteri
+         (fun i item ->
+           let c = D.bind ctx j.Ast.jright_var [ item ] in
+           match I.atomize (eval c j.Ast.jright_key) with
+           | _ :: _ :: _ when not j.Ast.jgeneral ->
+               if !pidx = max_int then pidx := i
+           | atoms ->
+               List.iter
+                 (fun a ->
+                   let ks = A.to_string a in
+                   let prev =
+                     Option.value ~default:[] (Hashtbl.find_opt tbl ks)
+                   in
+                   if not (List.exists (fun (i', _) -> i' = i) prev) then
+                     Hashtbl.replace tbl ks ((i, item) :: prev))
+                 atoms)
+         right;
+       Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl;
+       (tbl, !pidx, (match right with [] -> false | _ -> true)))
+  in
+  let singleton_err () = type_err "value comparison requires singleton operands" in
+  let probe item =
+    let c = D.bind ctx j.Ast.jleft_var [ item ] in
+    let tbl, pidx, had_rows = Lazy.force table in
+    let matches =
+      if not had_rows then Seq.empty
+      else begin
+        if !Obs.Metrics.enabled then Obs.Metrics.incr "xquery.join.probes";
+        match I.atomize (eval c j.Ast.jleft_key) with
+        | [] -> Seq.empty
+        | atoms when j.Ast.jgeneral ->
+            (* several probe atoms can hit the same build row; the
+               existential [=] keeps the tuple once, in b-order *)
+            List.concat_map
+              (fun a ->
+                Option.value ~default:[] (Hashtbl.find_opt tbl (A.to_string a)))
+              atoms
+            |> List.sort_uniq (fun (i, _) (i', _) -> Int.compare i i')
+            |> List.to_seq
+        | [ a ] ->
+            let ms =
+              Option.value ~default:[] (Hashtbl.find_opt tbl (A.to_string a))
+            in
+            if pidx = max_int then List.to_seq ms
+            else
+              (* matches before the multi-valued build row stream
+                 out; pulling past them reaches the erroring pair *)
+              Seq.append
+                (List.to_seq (List.filter (fun (i, _) -> i < pidx) ms))
+                (fun () -> singleton_err ())
+        | _ ->
+            (* multi-valued [eq] probe key: every pair against a
+               non-empty build key errors, and pairs against empty
+               keys are false, so the first keyed build row raises *)
+            if Hashtbl.length tbl > 0 || pidx < max_int then singleton_err ()
+            else Seq.empty
+      end
+    in
+    Seq.map (fun (_, bitem) -> D.bind c j.Ast.jright_var [ bitem ]) matches
+  in
+  let left_items =
+    if !streaming then Xdm_seq.items (eval_seq ctx j.Ast.jleft_source)
+    else List.to_seq (eval ctx j.Ast.jleft_source)
+  in
+  let pairs = Seq.concat_map probe left_items in
+  match j.Ast.jwhere with
+  | None -> pairs
+  | Some w -> Seq.filter (fun c -> ebv_stream c w) pairs
 
 and eval_insert ctx pos source_e target_e =
   let source_items = eval ctx source_e in
@@ -1196,9 +1415,25 @@ and eval_seq (ctx : D.t) (e : Ast.expr) : Xdm_seq.t =
         apply_predicates_seq ctx (eval_seq ctx e1) preds
     | Ast.E_flwor { clauses; where; order = []; return } ->
         flwor_seq ctx clauses where return
+    | Ast.E_hash_join j when j.Ast.jorder = [] ->
+        (* unordered join output streams: the probe side is pulled
+           lazily, so exists/head/[position() le k] over a join stop
+           after the first matching probe items *)
+        Xdm_seq.make
+          (Seq.concat_map
+             (fun c -> Xdm_seq.items (eval_seq c j.Ast.jreturn))
+             (hash_join_tuples ctx j))
     | _ -> Xdm_seq.of_list (eval ctx e)
 
 and step_stream ctx axis test preds n =
+  match value_index_step axis test preds n with
+  | Some (nodes, rest) ->
+      apply_predicates_seq ctx
+        (Xdm_seq.of_list ~sorted:true (List.map (fun m -> I.Node m) nodes))
+        rest
+  | None -> step_stream_scan ctx axis test preds n
+
+and step_stream_scan ctx axis test preds n =
   let nodes =
     match (axis, test) with
     | ( (Ast.Descendant | Ast.Descendant_or_self),

@@ -97,6 +97,18 @@ let rec map_children f (e : Ast.expr) : Ast.expr =
           order = List.map (fun o -> { o with Ast.key = g o.Ast.key }) order;
           return = g return;
         }
+  | Ast.E_hash_join j ->
+      Ast.E_hash_join
+        {
+          j with
+          jleft_source = g j.jleft_source;
+          jleft_key = g j.jleft_key;
+          jright_source = g j.jright_source;
+          jright_key = g j.jright_key;
+          jwhere = Option.map g j.jwhere;
+          jorder = List.map (fun o -> { o with Ast.key = g o.Ast.key }) j.jorder;
+          jreturn = g j.jreturn;
+        }
   | Ast.E_quantified (q, binds, body) ->
       Ast.E_quantified
         (q, List.map (fun (v, t, e) -> (v, t, g e)) binds, g body)
@@ -327,6 +339,28 @@ let substitute qn lit e =
               order = List.map (fun o -> { o with Ast.key = sub o.Ast.key }) order;
               return = sub return;
             }
+    | Ast.E_hash_join j ->
+        (* sources are outside both bindings; each key sees only its
+           own variable; where/order/return see both *)
+        let lb = Qname.equal j.Ast.jleft_var qn
+        and rb = Qname.equal j.Ast.jright_var qn in
+        Ast.E_hash_join
+          {
+            j with
+            jleft_source = sub j.Ast.jleft_source;
+            jright_source = sub j.Ast.jright_source;
+            jleft_key = (if lb then j.Ast.jleft_key else sub j.Ast.jleft_key);
+            jright_key = (if rb then j.Ast.jright_key else sub j.Ast.jright_key);
+            jwhere =
+              (if lb || rb then j.Ast.jwhere else Option.map sub j.Ast.jwhere);
+            jorder =
+              (if lb || rb then j.Ast.jorder
+               else
+                 List.map
+                   (fun o -> { o with Ast.key = sub o.Ast.key })
+                   j.Ast.jorder);
+            jreturn = (if lb || rb then j.Ast.jreturn else sub j.Ast.jreturn);
+          }
     | Ast.E_quantified (q, binds, body) ->
         let binds, shadowed =
           List.fold_left
@@ -421,6 +455,70 @@ and sub_clause var lit (shadowed, c) =
         Ast.For_clause { f with source = substitute var lit f.source }
     | Ast.Let_clause l ->
         Ast.Let_clause { l with value = substitute var lit l.value }
+
+(* ------------------------------------------------------------------ *)
+(* equi-join planning                                                  *)
+
+let join_planning = ref true
+let set_join_planning b = join_planning := b
+let join_planning_enabled () = !join_planning
+
+let mentions_var qn e =
+  exists_expr (function Ast.E_var v -> Qname.equal v qn | _ -> false) e
+
+(* A join key must be a step path rooted at the join variable —
+   [$v/@k], [$v//sku], [($v/k)[1]] … Such a path yields nodes, whose
+   atoms are always xs:untypedAtomic, so under both [eq] and [=] the
+   keys compare as strings and a string-keyed hash table is exact
+   (untyped-vs-untyped never promotes to numeric). A bare [$v] is NOT
+   a key: the bound item could be an atomic of any type, and typed
+   comparison semantics would diverge from string hashing. *)
+let rec steps_only = function
+  | Ast.E_step _ -> true
+  | Ast.E_path (a, b) -> steps_only a && steps_only b
+  | Ast.E_filter (a, _) -> steps_only a
+  | _ -> false
+
+let rec var_step_path var = function
+  | Ast.E_path (base, tail) -> var_rooted var base && steps_only tail
+  | Ast.E_filter (base, _) -> var_step_path var base
+  | _ -> false
+
+and var_rooted var = function
+  | Ast.E_var v -> Qname.equal v var
+  | e -> var_step_path var e
+
+(* ordered conjuncts of a (left-associated) [and] chain *)
+let rec conjuncts = function
+  | Ast.E_and (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> None
+  | c :: rest -> Some (List.fold_left (fun a b -> Ast.E_and (a, b)) c rest)
+
+(* Recognise [pred] as an equi-join comparison between a left-rooted
+   and a right-rooted key, in either operand order. Keys that might
+   observe the focus (via opaque calls) are conservatively refused.
+   Returns (left key, right key, is-general-comparison). *)
+let key_pair ~lv ~rv pred =
+  let classify a b general =
+    let ok v other k =
+      var_step_path v k && not (mentions_var other k) && not (uses_focus k)
+    in
+    if ok lv rv a && ok rv lv b then Some (a, b, general)
+    else if ok rv lv a && ok lv rv b then Some (b, a, general)
+    else None
+  in
+  match pred with
+  | Ast.E_value_comp (Ast.Eq, a, b) -> classify a b false
+  | Ast.E_general_comp (Ast.Eq, a, b) -> classify a b true
+  | _ -> None
+
+(* a scripting block in the where clause could observe how often and
+   in which order the filter runs; those FLWORs keep the nested-loop
+   plan *)
+let has_scripting = exists_expr (function Ast.E_block _ -> true | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* the rewrite rules                                                   *)
@@ -546,6 +644,49 @@ and rules e =
               es))
   (* (e) → e *)
   | Ast.E_sequence [ e ] -> fired e
+  (* two-[for] equi-join FLWOR → hash join. Preconditions: plain for
+     clauses (no position variables, no declared types), independent
+     right source (else the build side is correlated and cannot be
+     hashed once), and the join comparison must be the FIRST conjunct
+     of the where clause — a later conjunct may not be reordered past
+     an earlier one that could raise. *)
+  | Ast.E_flwor
+      {
+        clauses =
+          [
+            Ast.For_clause
+              { var = lv; pos_var = None; var_type = None; source = ls };
+            Ast.For_clause
+              { var = rv; pos_var = None; var_type = None; source = rs };
+          ];
+        where = Some w;
+        order;
+        return;
+      }
+    when !join_planning
+         && (not (Qname.equal lv rv))
+         && (not (mentions_var lv rs))
+         && not (has_scripting w) -> (
+      match conjuncts w with
+      | jpred :: rest -> (
+          match key_pair ~lv ~rv jpred with
+          | Some (lk, rk, general) ->
+              fired
+                (Ast.E_hash_join
+                   {
+                     jleft_var = lv;
+                     jleft_source = ls;
+                     jleft_key = lk;
+                     jright_var = rv;
+                     jright_source = rs;
+                     jright_key = rk;
+                     jgeneral = general;
+                     jwhere = conjoin rest;
+                     jorder = order;
+                     jreturn = return;
+                   })
+          | None -> e)
+      | [] -> e)
   (* literal let elimination: let $x := 1 return … $x … *)
   | Ast.E_flwor { clauses; where; order; return } -> (
       match inline_literal_let clauses where order return with

@@ -13,6 +13,7 @@ let () =
       ("properties", Test_properties.suite);
       ("optimizer", Test_optimizer.suite);
       ("streaming", Test_streaming.suite);
+      ("joins", Test_joins.suite);
       ("query-cache", Test_query_cache.suite);
       ("net", Test_net.suite);
       ("faults", Test_faults.suite);

@@ -246,6 +246,72 @@ let equivalence_properties =
         eval_outcome ~optimize:false src = eval_outcome ~optimize:true src);
   ]
 
+(* ---------- join-planner plan snapshots ---------- *)
+
+(* golden printouts of the optimized plan: the exact shape the planner
+   emits is part of the contract, so these pin the full source string
+   for the shapes that must fire and assert the hash-join operator
+   never appears for the shapes that must not *)
+let plan src =
+  let prev = Optimizer.join_planning_enabled () in
+  Optimizer.set_join_planning true;
+  Fun.protect
+    ~finally:(fun () -> Optimizer.set_join_planning prev)
+    (fun () -> Ast_printer.expr_to_source (Optimizer.optimize_expr (parse_expr src)))
+
+let has_hash_join s =
+  try
+    ignore (Str.search_forward (Str.regexp_string "hash-join") s 0);
+    true
+  with Not_found -> false
+
+let golden name src expected =
+  t name (fun () -> check Alcotest.string src expected (plan src))
+
+let no_join name src =
+  t name (fun () ->
+      let p = plan src in
+      check Alcotest.bool ("stays nested-loop: " ^ p) false (has_hash_join p))
+
+let join_plan_snapshots =
+  [
+    (* the paper's §6.3 shopping-cart join *)
+    golden "cart/catalog equi-join compiles to a hash join"
+      "for $c in //cart/item, $p in //products/product \
+       where $c/@sku eq $p/@sku return $p/@price"
+      "hash-join for $c in ((/descendant-or-self::node())/(child::cart)/child::item), \
+       $p in ((/descendant-or-self::node())/(child::products)/child::product) \
+       on (($c)/attribute::sku) eq (($p)/attribute::sku) \
+       return (($p)/attribute::price)";
+    golden "general '=' join keeps existential marking"
+      "for $a in //a, $b in //b where $a/@k = $b/@k return $a"
+      "hash-join for $a in (/descendant::a), $b in (/descendant::b) \
+       on (($a)/attribute::k) = (($b)/attribute::k) return ($a)";
+    golden "residual conjunct and order-by survive around the join"
+      "for $a in //a, $b in //b where $a/@k eq $b/@k and $a/@q = '1' \
+       order by $b/@id return $b"
+      "hash-join for $a in (/descendant::a), $b in (/descendant::b) \
+       on (($a)/attribute::k) eq (($b)/attribute::k) \
+       where ((($a)/attribute::q) = ('1')) \
+       order by (($b)/attribute::id) return ($b)";
+    no_join "position variable blocks the rewrite"
+      "for $a at $i in //a, $b in //b where $a/@k eq $b/@k return $a";
+    no_join "correlated build source blocks the rewrite"
+      "for $a in //a, $b in $a/b where $a/@k eq $b/@k return $a";
+    no_join "join comparison must be the first conjunct"
+      "for $a in //a, $b in //b where $a/@q = '1' and $a/@k eq $b/@k return $a";
+    no_join "positional/last()-dependent key blocks the rewrite"
+      "for $a in //a, $b in //b \
+       where $a/@k[position() = last()] eq $b/@k return $a";
+    no_join "only equality comparisons are join keys"
+      "for $a in //a, $b in //b where $a/@k lt $b/@k return $a";
+    no_join "updating return keeps the nested-loop plan"
+      "for $a in //a, $b in //b where $a/@k eq $b/@k return delete node $a";
+    no_join "scripting block in the where keeps the nested-loop plan"
+      "for $a in //a, $b in //b where $a/@k eq $b/@k \
+       and ({ declare variable $x := 1; $x = 1 }) return $a";
+  ]
+
 let suite =
   positional_regressions @ fixpoint_tests @ rewrite_tests
-  @ equivalence_properties
+  @ equivalence_properties @ join_plan_snapshots

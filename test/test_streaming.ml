@@ -162,6 +162,71 @@ let bounded_pull_tests =
         check Alcotest.int "no cursor pulls" 0 pulls);
   ]
 
+(* ---------- joined early-exit: the probe side streams ---------- *)
+
+(* the hash-join plan pulls the probe (left) side through a cursor, so
+   early-exiting consumers over a join must stop pulling once
+   satisfied; the build side is tiny and eager *)
+let joined_early_exit_tests =
+  let doc =
+    let b = Buffer.create 40_000 in
+    Buffer.add_string b "<db><big>";
+    for i = 1 to 1000 do
+      Buffer.add_string b (Printf.sprintf "<row id='r%d'>v%d</row>" i i)
+    done;
+    Buffer.add_string b "</big><small><p k='r10'/><p k='r12'/></small></db>";
+    Buffer.contents b
+  in
+  let join =
+    "for $r in //row, $p in //p where $r/@id eq $p/@k \
+     return string($r/@id)"
+  in
+  let run src =
+    let prev = Optimizer.join_planning_enabled () in
+    Optimizer.set_join_planning true;
+    Fun.protect
+      ~finally:(fun () -> Optimizer.set_join_planning prev)
+      (fun () -> eval_doc ~doc ~streaming:true src)
+  in
+  [
+    t "exists over a join pulls a bounded probe prefix" (fun () ->
+        let v, pulls =
+          counters (fun () -> run (Printf.sprintf "exists(%s)" join))
+        in
+        check Alcotest.string "value" "true" v;
+        (* the first match is probe row 10 of 1000 *)
+        check Alcotest.bool
+          (Printf.sprintf "pulls %d <= 40" pulls)
+          true (pulls <= 40));
+    t "head of a join stops at the first match" (fun () ->
+        let v, pulls =
+          counters (fun () -> run (Printf.sprintf "head(%s)" join))
+        in
+        check Alcotest.string "value" "r10" v;
+        check Alcotest.bool
+          (Printf.sprintf "pulls %d <= 40" pulls)
+          true (pulls <= 40));
+    t "positional prefix over a join stops at the k-th match" (fun () ->
+        let v, pulls =
+          counters (fun () ->
+              run
+                (Printf.sprintf "string-join((%s)[position() le 2], ' ')" join))
+        in
+        check Alcotest.string "value" "r10 r12" v;
+        (* the second match is probe row 12; nowhere near 1000 pulls *)
+        check Alcotest.bool
+          (Printf.sprintf "pulls %d <= 40" pulls)
+          true (pulls <= 40));
+    t "an unbounded consumer drains the whole probe side" (fun () ->
+        let v, pulls =
+          counters (fun () -> run (Printf.sprintf "string-join((%s), ' ')" join))
+        in
+        check Alcotest.string "value" "r10 r12" v;
+        check Alcotest.bool
+          (Printf.sprintf "pulls %d >= 1000" pulls)
+          true (pulls >= 1000));
+  ]
+
 (* ---------- QCheck: streaming and eager always agree ---------- *)
 
 (* error-free sources biased toward the streaming consumers; streaming
@@ -302,5 +367,6 @@ let absent_focus_tests =
   ]
 
 let suite =
-  consumer_tests @ bounded_pull_tests @ equivalence_properties
-  @ distinct_values_tests @ index_of_tests @ absent_focus_tests
+  consumer_tests @ bounded_pull_tests @ joined_early_exit_tests
+  @ equivalence_properties @ distinct_values_tests @ index_of_tests
+  @ absent_focus_tests
