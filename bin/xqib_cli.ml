@@ -100,6 +100,16 @@ let no_join_planner_arg =
            nested loops instead of hash joins (A/B baseline for the \
            planner; see the xquery.join.* counters).")
 
+let no_compiled_eval_arg =
+  Arg.(
+    value & flag
+    & info [ "no-compiled-eval" ]
+        ~doc:
+          "Disable the closure compiler: program bodies and declared \
+           functions run through the tree-walking evaluator instead of \
+           closure-compiled code (A/B baseline for compiled evaluation; \
+           see the compile element of browser:stats()).")
+
 let obs_setup ~trace ~metrics =
   if trace <> None then Obs.Trace.set_enabled true;
   if metrics || trace <> None then Obs.Metrics.set_enabled true
@@ -108,9 +118,10 @@ let cache_setup ~no_cache = if no_cache then Xquery.Query_cache.set_enabled fals
 let streaming_setup ~no_streaming =
   if no_streaming then Xquery.Eval.set_streaming false
 
-let plan_setup ~no_value_index ~no_join_planner =
+let plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval =
   if no_value_index then Dom.set_value_index false;
-  if no_join_planner then Xquery.Optimizer.set_join_planning false
+  if no_join_planner then Xquery.Optimizer.set_join_planning false;
+  if no_compiled_eval then Xquery.Engine.set_compiled_eval false
 
 let cache_report ~cache_stats =
   if cache_stats then begin
@@ -166,11 +177,11 @@ let eval_cmd =
     Arg.(value & opt bool true & info [ "optimize" ] ~doc:"Run the rewrite optimizer.")
   in
   let run expr optimize trace metrics no_cache cache_stats no_streaming
-      no_value_index no_join_planner =
+      no_value_index no_join_planner no_compiled_eval =
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
     streaming_setup ~no_streaming;
-    plan_setup ~no_value_index ~no_join_planner;
+    plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval;
     handle (fun () ->
         print_result (Xquery.Engine.eval_string ~optimize expr);
         obs_report ~trace ~metrics;
@@ -180,18 +191,18 @@ let eval_cmd =
     Term.(
       const run $ expr $ optimize $ trace_arg $ metrics_arg $ no_cache_arg
       $ cache_stats_arg $ no_streaming_arg $ no_value_index_arg
-      $ no_join_planner_arg)
+      $ no_join_planner_arg $ no_compiled_eval_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xq") in
   let run file trace metrics no_cache cache_stats no_streaming no_value_index
-      no_join_planner =
+      no_join_planner no_compiled_eval =
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
     streaming_setup ~no_streaming;
-    plan_setup ~no_value_index ~no_join_planner;
+    plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval;
     handle (fun () ->
         print_result (Xquery.Engine.eval_string (read_file file));
         obs_report ~trace ~metrics;
@@ -202,7 +213,7 @@ let run_cmd =
     Term.(
       const run $ file $ trace_arg $ metrics_arg $ no_cache_arg
       $ cache_stats_arg $ no_streaming_arg $ no_value_index_arg
-      $ no_join_planner_arg)
+      $ no_join_planner_arg $ no_compiled_eval_arg)
 
 (* ---- page ---- *)
 
@@ -247,7 +258,7 @@ let page_cmd =
   in
   let run file clicks types show_doc render uppercase query fault_rate seed
       trace metrics no_cache cache_stats no_streaming no_value_index
-      no_join_planner =
+      no_join_planner no_compiled_eval =
     if fault_rate < 0. || fault_rate >= 1. then begin
       Printf.eprintf "error: --fault-rate must be in [0, 1), got %g\n" fault_rate;
       exit 2
@@ -255,7 +266,7 @@ let page_cmd =
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
     streaming_setup ~no_streaming;
-    plan_setup ~no_value_index ~no_join_planner;
+    plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval;
     handle (fun () ->
         Minijs.Js_interp.install ();
         let b =
@@ -332,7 +343,7 @@ let page_cmd =
       const run $ file $ clicks $ types $ show_doc $ render $ uppercase $ query
       $ fault_rate $ seed $ trace_arg $ metrics_arg $ no_cache_arg
       $ cache_stats_arg $ no_streaming_arg $ no_value_index_arg
-      $ no_join_planner_arg)
+      $ no_join_planner_arg $ no_compiled_eval_arg)
 
 (* ---- migrate ---- *)
 

@@ -193,6 +193,8 @@ let install (b : Browser.t) (window : Windows.t) sctx =
       attr root "value-index-enabled" (string_of_bool (Dom.value_index_enabled ()));
       attr root "join-planning-enabled"
         (string_of_bool (Xquery.Optimizer.join_planning_enabled ()));
+      attr root "compiled-eval-enabled"
+        (string_of_bool (Xquery.Engine.compiled_eval_enabled ()));
       let counters = Dom.create_element (Qname.make "counters") in
       Dom.append_child ~parent:root counters;
       List.iter
@@ -229,6 +231,11 @@ let install (b : Browser.t) (window : Windows.t) sctx =
         (string_of_int (Xquery.Query_cache.generation Xquery.Engine.query_cache));
       attr qc "cost-saved" (string_of_int s.Xquery.Query_cache.cost_saved);
       Dom.append_child ~parent:root qc;
+      let ce = Dom.create_element (Qname.make "compile") in
+      List.iter
+        (fun (name, v) -> attr ce name (string_of_int v))
+        (Xquery.Compile.stats ());
+      Dom.append_child ~parent:root ce;
       let st = Dom.create_element (Qname.make "streaming") in
       attr st "enabled" (string_of_bool (Xquery.Eval.streaming_enabled ()));
       attr st "pulls"

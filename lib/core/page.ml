@@ -127,6 +127,18 @@ let run_xquery_source b window source =
   traced "page.script" @@ fun () ->
   let st = state_for b window in
   let compiled = Xquery.Engine.compile_cached ~static:st.static source in
+  (* install this script's closure-compiled functions before anything
+     can call them (global initializers, the body, later event
+     listeners): {!Xquery.Eval.call_function} dispatches user calls
+     through the context's table, so per-event listener invocations
+     run compiled code *)
+  (match compiled.Xquery.Engine.code with
+  | Some code when Xquery.Engine.compiled_eval_enabled () ->
+      List.iter
+        (fun (key, impl) ->
+          Hashtbl.replace st.ctx.DC.compiled_fns key impl)
+        code.Xquery.Compile.fns
+  | _ -> ());
   (* refresh globals declared by this script's prolog *)
   List.iter
     (fun (qn, sty, init) ->
@@ -146,7 +158,14 @@ let run_xquery_source b window source =
     traced "engine.eval" @@ fun () ->
     match compiled.Xquery.Engine.prog.Xquery.Ast.body with
     | Some body -> (
-        try Xquery.Eval.protect (fun () -> Xquery.Eval.eval st.ctx body)
+        let eval_body () =
+          match compiled.Xquery.Engine.code with
+          | Some { Xquery.Compile.body = Some f; _ }
+            when Xquery.Engine.compiled_eval_enabled () ->
+              f st.ctx
+          | _ -> Xquery.Eval.eval st.ctx body
+        in
+        try Xquery.Eval.protect eval_body
         with Xquery.Eval.Exit_with v -> v)
     | None -> (
         (* Zorba workaround fidelity (§5.1): page code with no body

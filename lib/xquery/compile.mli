@@ -1,0 +1,39 @@
+(** The closure compiler (PAPER: per-event evaluation must be as fast
+    as the hardware allows). {!Core_ir.lower} desugars the optimized
+    AST and resolves variables to frame slots; [compile_prog] then
+    emits one OCaml closure per core node, composed bottom-up, so a
+    run performs direct calls over a pre-sized frame array instead of
+    tree-walking the AST. The tree-walking {!Eval} stays the oracle:
+    [set_compiled_eval false] (CLI [--no-compiled-eval]) disables the
+    compiled path entirely, and compiled code delegates to the
+    interpreter for streaming-sensitive shapes so lazy pull counts
+    match it pull-for-pull. *)
+
+type env = {
+  ctx : Dynamic_context.t;
+  frame : Xdm_item.sequence ref array;
+}
+
+type fn_impl =
+  Dynamic_context.t -> Xdm_item.sequence list -> Xdm_item.sequence
+
+type prog_code = {
+  body : (Dynamic_context.t -> Xdm_item.sequence) option;
+      (** compiled main-module body; [None] when the body is absent or
+          lowers to a single opaque node (the interpreter is used) *)
+  fns : (string * fn_impl) list;
+      (** compiled plain-expression function bodies, keyed
+          ["clark-name/arity"] for {!Dynamic_context.t.compiled_fns} *)
+}
+
+(** Ablation switch (default on), mirroring {!Eval.set_streaming}. *)
+val set_compiled_eval : bool -> unit
+
+val enabled : unit -> bool
+
+(** Always-on compile statistics for [browser:stats()]:
+    programs/functions compiled, closure nodes emitted, opaque
+    fallback nodes. *)
+val stats : unit -> (string * int) list
+
+val compile_prog : Static_context.t -> Ast.prog -> prog_code

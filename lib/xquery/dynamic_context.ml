@@ -109,6 +109,7 @@ type t = {
   pul : Pul.t;
   host : host;
   depth : int;
+  compiled_fns : (string, t -> Xdm_item.sequence list -> Xdm_item.sequence) Hashtbl.t;
 }
 
 let create ?(host = default_host) static =
@@ -120,6 +121,7 @@ let create ?(host = default_host) static =
     pul = Pul.create ();
     host;
     depth = 0;
+    compiled_fns = Hashtbl.create 8;
   }
 
 let key qn = Qname.to_clark qn

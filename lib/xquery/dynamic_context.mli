@@ -57,6 +57,11 @@ type t = {
   pul : Pul.t;
   host : host;
   depth : int;
+  compiled_fns : (string, t -> Xdm_item.sequence list -> Xdm_item.sequence) Hashtbl.t;
+      (** compiled user-function bodies, keyed ["clark-name/arity"];
+          installed by {!Engine.context_for} when compiled evaluation is
+          on, consulted by [Eval.call_user_function] before the
+          tree-walking body dispatch *)
 }
 
 val create : ?host:host -> Static_context.t -> t

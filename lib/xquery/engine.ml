@@ -1,6 +1,15 @@
 open Xmlb
 
-type compiled = { prog : Ast.prog; static : Static_context.t }
+type compiled = {
+  prog : Ast.prog;
+  static : Static_context.t;
+  code : Compile.prog_code option;
+      (* closure-compiled body + function table; None when compiled
+         evaluation was off at compile time *)
+}
+
+let set_compiled_eval = Compile.set_compiled_eval
+let compiled_eval_enabled = Compile.enabled
 
 let default_static () = Static_context.create ()
 
@@ -57,7 +66,14 @@ let compile ?(optimize = true) ?static source =
       prog.Ast.prolog;
   if !Obs.Metrics.enabled then
     Obs.Metrics.incr ~by:(String.length source) "engine.source-bytes";
-  { prog; static }
+  let code =
+    if Compile.enabled () then
+      Some
+        (traced "engine.compile-closures" (fun () ->
+             Compile.compile_prog static prog))
+    else None
+  in
+  { prog; static; code }
 
 (* ------------------------------------------------------------------ *)
 (* compiled-query cache                                                *)
@@ -100,6 +116,7 @@ let cache_key ~optimize fingerprint source =
      must key the cache too or toggling it would serve stale plans *)
   (if optimize then "O1|" else "O0|")
   ^ (if Optimizer.join_planning_enabled () then "J1|" else "J0|")
+  ^ (if Compile.enabled () then "C1|" else "C0|")
   ^ fingerprint ^ "|" ^ source
 
 let compile_cached ?(optimize = true) ?static source =
@@ -129,6 +146,15 @@ let compile_cached ?(optimize = true) ?static source =
 
 let context_for ?host ?context_item ?(bindings = []) compiled =
   let ctx = Dynamic_context.create ?host compiled.static in
+  (* install compiled function bodies before anything can call them
+     (global-variable initializers may) *)
+  (match compiled.code with
+  | Some code when Compile.enabled () ->
+      List.iter
+        (fun (key, impl) ->
+          Hashtbl.replace ctx.Dynamic_context.compiled_fns key impl)
+        code.Compile.fns
+  | _ -> ());
   let ctx =
     match context_item with
     | Some item -> Dynamic_context.with_focus ctx item ~position:1 ~size:1
@@ -167,9 +193,20 @@ let context_for ?host ?context_item ?(bindings = []) compiled =
   ctx
 
 let eval_body ctx compiled =
-  match compiled.prog.Ast.body with
-  | None -> []
-  | Some body -> (
+  let compiled_body =
+    match compiled.code with
+    | Some { Compile.body = Some f; _ } when Compile.enabled () -> Some f
+    | _ -> None
+  in
+  match (compiled_body, compiled.prog.Ast.body) with
+  | None, None -> []
+  | Some f, _ -> (
+      try Eval.protect (fun () -> f ctx) with
+      | Eval.Exit_with v -> v
+      | Eval.Break_loop | Eval.Continue_loop ->
+          Xq_error.raise_error "XSST0010"
+            "break/continue outside of a while loop")
+  | None, Some body -> (
       try Eval.protect (fun () -> Eval.eval ctx body) with
       | Eval.Exit_with v -> v
       | Eval.Break_loop | Eval.Continue_loop ->

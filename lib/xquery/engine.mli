@@ -7,7 +7,23 @@
 
 open Xmlb
 
-type compiled = { prog : Ast.prog; static : Static_context.t }
+type compiled = {
+  prog : Ast.prog;
+  static : Static_context.t;
+  code : Compile.prog_code option;
+      (** closure-compiled body + function table; [None] when compiled
+          evaluation was off at compile time *)
+}
+
+(** Compiled-evaluation ablation switch (default on; the
+    {!Eval.set_streaming} pattern). When enabled, {!compile} emits a
+    closure IR for the program body and its plain-expression functions,
+    and {!eval_body}/{!context_for} execute it; when disabled, the
+    tree-walking evaluator (the oracle) runs. Keys the query cache
+    ([C1|]/[C0|]) like the join-planner switch. *)
+val set_compiled_eval : bool -> unit
+
+val compiled_eval_enabled : unit -> bool
 
 (** A fresh static context with the standard namespaces. *)
 val default_static : unit -> Static_context.t

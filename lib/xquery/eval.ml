@@ -304,84 +304,12 @@ let axis_seq (axis : Ast.axis) node : Dom.node Seq.t =
          materialisation until the first pull *)
       fun () -> List.to_seq (axis_nodes axis node) ()
 
-(* axes that emit distinct nodes in document order when expanded from
-   a single origin node *)
-let forward_ordered = function
-  | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Attribute_axis
-  | Ast.Self | Ast.Following_sibling | Ast.Following ->
-      true
-  | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Preceding_sibling
-  | Ast.Preceding ->
-      false
-
-(* Static sequence-shape lattice for the sorted-distinct-nodes flag:
-   [`One] — at most one node; [`Sorted] — distinct nodes in document
-   order; [`Unknown] — no guarantee. A step chain whose class is not
-   [`Unknown] can stream without the document_order re-sort: a forward
-   axis from a single origin emits document order directly, and
-   self/attribute steps over a sorted stream keep it sorted. A child or
-   descendant step over a *multi-node* sorted stream is not
-   order-preserving in general (ancestor/descendant origins interleave),
-   so it stays [`Unknown] and evaluates eagerly. *)
-let rec seq_class (e : Ast.expr) : [ `One | `Sorted | `Unknown ] =
-  match e with
-  | Ast.E_root | Ast.E_context_item -> `One
-  | Ast.E_step (axis, _, _) ->
-      (* a bare step expands the (single) context item *)
-      if forward_ordered axis then `Sorted else `Unknown
-  | Ast.E_path (e1, Ast.E_step (axis, _, _)) -> (
-      match seq_class e1 with
-      | `One -> if forward_ordered axis then `Sorted else `Unknown
-      | `Sorted -> (
-          match axis with
-          | Ast.Self | Ast.Attribute_axis -> `Sorted
-          | _ -> `Unknown)
-      | `Unknown -> `Unknown)
-  | Ast.E_filter (e1, _) -> seq_class e1 (* predicates keep a subsequence *)
-  | _ -> `Unknown
-
-(* Early-exit predicate shapes: a numeric literal [k], or
-   position() compared against an integer literal. [`Nth k] selects
-   one item, [`First k] a bounded prefix — both stop pulling. *)
-let is_position_call = function
-  | Ast.E_call ({ Qname.local = "position"; uri = Some u; _ }, []) ->
-      u = Qname.Ns.fn
-  | _ -> false
-
-let take_shape (pred : Ast.expr) =
-  let of_comp (op : Ast.value_comp) k =
-    match op with
-    | Ast.Eq -> Some (`Nth k)
-    | Ast.Le -> Some (`First k)
-    | Ast.Lt -> Some (`First (k - 1))
-    | Ast.Ne | Ast.Gt | Ast.Ge -> None
-  in
-  match pred with
-  | Ast.E_literal (A.Integer k) -> Some (`Nth k)
-  | Ast.E_value_comp (op, p, Ast.E_literal (A.Integer k))
-  | Ast.E_general_comp (op, p, Ast.E_literal (A.Integer k))
-    when is_position_call p ->
-      of_comp op k
-  | Ast.E_value_comp (op, Ast.E_literal (A.Integer k), p)
-  | Ast.E_general_comp (op, Ast.E_literal (A.Integer k), p)
-    when is_position_call p ->
-      of_comp (Optimizer.mirror_comp op) k
-  | _ -> None
-
-(* operand forms whose lazy evaluation can skip meaningful work; tiny
-   forms (a bare step, a variable, a literal) are cheaper eagerly and
-   dominate predicate bodies evaluated once per context node *)
-let worth_streaming = function
-  | Ast.E_path _ | Ast.E_filter _ | Ast.E_range _ | Ast.E_flwor _ -> true
-  | _ -> false
-
-(* does the final step/filter of [e] carry a bounded take, making a
-   top-level streamed evaluation worthwhile? *)
-let rec has_bounded_take = function
-  | Ast.E_step (_, _, preds) | Ast.E_filter (_, preds) ->
-      List.exists (fun p -> Option.is_some (take_shape p)) preds
-  | Ast.E_path (_, e2) -> has_bounded_take e2
-  | _ -> false
+(* shared static analyses, see {!Focus_analysis} *)
+let forward_ordered = Focus_analysis.forward_ordered
+let seq_class = Focus_analysis.seq_class
+let take_shape = Focus_analysis.take_shape
+let worth_streaming = Focus_analysis.worth_streaming
+let has_bounded_take = Focus_analysis.has_bounded_take
 
 (* ------------------------------------------------------------------ *)
 (* Comparison helpers                                                  *)
@@ -505,7 +433,7 @@ let rec eval (ctx : D.t) (e : Ast.expr) : I.sequence =
   | Ast.E_value_comp (op, Ast.E_literal (A.Integer k), Ast.E_call (qn, [ arg ]))
   | Ast.E_general_comp (op, Ast.E_literal (A.Integer k), Ast.E_call (qn, [ arg ]))
     when !streaming && resolves_to_builtin ctx qn "count" ~arity:1 ->
-      bounded_count ctx (Optimizer.mirror_comp op) arg k
+      bounded_count ctx (Focus_analysis.mirror_comp op) arg k
   | Ast.E_value_comp (op, a, b) -> (
       let va = I.atomize (eval ctx a) and vb = I.atomize (eval ctx b) in
       match (va, vb) with
@@ -1489,7 +1417,7 @@ and apply_predicates_seq ctx cur preds =
               (Seq.take 1 (Seq.drop (k - 1) (Xdm_seq.items cur)))
       | Some (`First k) -> Xdm_seq.take k cur
       | None ->
-          if Optimizer.uses_last pred then
+          if Focus_analysis.uses_last pred then
             (* needs-last: the predicate observes the focus size, so
                this stage must materialise to compute it *)
             Xdm_seq.of_list ~sorted:(Xdm_seq.sorted cur)
@@ -1601,6 +1529,20 @@ and call_function ctx qn args =
                     "unknown function %s#%d" (Qname.to_string qn) arity)))
 
 and call_user_function ctx (decl : Ast.function_decl) args =
+  (* compiled-eval fast path: Engine installs closure-compiled bodies
+     into the dynamic context (keyed "clark-name/arity"); fall through
+     to the tree-walking dispatch when none is registered *)
+  (match
+     if Hashtbl.length ctx.D.compiled_fns = 0 then None
+     else
+       Hashtbl.find_opt ctx.D.compiled_fns
+         (Qname.to_clark decl.Ast.fname ^ "/"
+         ^ string_of_int (List.length decl.Ast.params))
+   with
+  | Some impl -> impl ctx args
+  | None -> call_user_function_ast ctx decl args)
+
+and call_user_function_ast ctx (decl : Ast.function_decl) args =
   if ctx.D.depth > max_depth then
     err "XQDY0054" "maximum recursion depth exceeded in %s"
       (Qname.to_string decl.Ast.fname);

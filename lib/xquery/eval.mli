@@ -55,3 +55,37 @@ val call_function :
     truncating arguments to its arity) and then applies pending
     updates — the paper's listener execution cycle (Fig. 1). *)
 val make_listener : Dynamic_context.t -> Qname.t -> Dynamic_context.listener
+
+(** {2 Shared building blocks for the closure compiler}
+
+    {!Compile} emits closures that must behave exactly like the
+    tree-walker; it reuses the evaluator's axis/index/comparison
+    machinery instead of re-implementing it. *)
+
+(** Maximum user-function recursion depth (raises XQDY0054 beyond). *)
+val max_depth : int
+
+(** Nodes selected by one axis step (uses the local-name index for
+    descendant name tests when DOM acceleration is on). *)
+val step_nodes : Ast.axis -> Ast.node_test -> Dom.node -> Dom.node list
+
+val node_test_matches : axis:Ast.axis -> Ast.node_test -> Dom.node -> bool
+
+(** Serve a leading [@k eq 'lit']-style predicate from the per-root
+    value index: [Some (candidates, remaining_preds)] or [None] to
+    fall back to a scan. *)
+val value_index_step :
+  Ast.axis ->
+  Ast.node_test ->
+  Ast.expr list ->
+  Dom.node ->
+  (Dom.node list * Ast.expr list) option
+
+val value_compare_pair : Ast.value_comp -> Xdm_atomic.t -> Xdm_atomic.t -> bool
+val general_compare_pair : Ast.value_comp -> Xdm_atomic.t -> Xdm_atomic.t -> bool
+
+(** Normalize a constructor content sequence into (attributes,
+    children) per the XQuery constructor rules. *)
+val normalize_content : Xdm_item.sequence -> Dom.node list * Dom.node list
+
+val qname_of_value : Dynamic_context.t -> Xdm_atomic.t -> Qname.t

@@ -1,0 +1,64 @@
+(** Static expression analyses shared by {!Optimizer}, {!Eval} and
+    {!Compile}. All analyses are conservative: unrecognized forms count
+    as focus-dependent / positional / numeric, so a consumer can only
+    under-apply an optimisation, never miscompile. *)
+
+(** [a op b] ⟺ [b (mirror_comp op) a] — the operand-swap mirror of a
+    comparison operator (not its negation). *)
+val mirror_comp : Ast.value_comp -> Ast.value_comp
+
+(** Rebuild an expression with [f] applied to every direct
+    subexpression (statements, full-text selections and constructor
+    attribute parts included). *)
+val map_children : (Ast.expr -> Ast.expr) -> Ast.expr -> Ast.expr
+
+val map_ft : (Ast.expr -> Ast.expr) -> Ast.ft_selection -> Ast.ft_selection
+val map_stmt : (Ast.expr -> Ast.expr) -> Ast.statement -> Ast.statement
+
+(** Does the predicate hold for the expression or any transitive
+    subexpression? *)
+val exists_expr : (Ast.expr -> bool) -> Ast.expr -> bool
+
+(** May the expression's value be numeric (making it a positional
+    predicate)? Conservative. *)
+val may_yield_number : Ast.expr -> bool
+
+(** Does the expression observe the focus position or size —
+    [fn:position]/[fn:last] directly, or an opaque user/external call
+    (function bodies see the caller's focus in this engine)? *)
+val uses_focus : Ast.expr -> bool
+
+(** Does any predicate in the list potentially observe the focus
+    position (numeric value, [fn:position]/[fn:last], or a call into
+    user code)? *)
+val has_positional : Ast.expr list -> bool
+
+(** Needs-last / needs-position: does the expression observe the focus
+    [size] (resp. [position])? Computing a focus size forces
+    materialisation; position streams as an incremental counter. *)
+val uses_last : Ast.expr -> bool
+
+val uses_position : Ast.expr -> bool
+
+(** Axes that emit distinct nodes in document order when expanded from
+    a single origin node. *)
+val forward_ordered : Ast.axis -> bool
+
+(** Sortedness lattice for step chains: [`One] — at most one node;
+    [`Sorted] — distinct nodes in document order; [`Unknown] — no
+    guarantee (re-sort required). *)
+val seq_class : Ast.expr -> [ `One | `Sorted | `Unknown ]
+
+(** Is the expression exactly [fn:position()]? *)
+val is_position_call : Ast.expr -> bool
+
+(** Bounded positional-take shape of a predicate: [`Nth k] for a
+    numeric literal or [position() eq k], [`First k] for
+    [position() le k] — both allow an early-exit pull. *)
+val take_shape : Ast.expr -> [ `Nth of int | `First of int ] option
+
+(** Operand forms whose lazy evaluation can skip meaningful work. *)
+val worth_streaming : Ast.expr -> bool
+
+(** Does the final step/filter carry a bounded positional take? *)
+val has_bounded_take : Ast.expr -> bool

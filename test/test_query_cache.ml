@@ -124,6 +124,29 @@ let engine_cache_tests =
             ignore (Engine.compile_cached ~optimize:true src);
             ignore (Engine.compile_cached ~optimize:false src);
             check Alcotest.int "no cross-flag hit" 2 (qstats ()).QC.misses));
+    t "compiled-eval flag keys the cache (C1|/C0|)" (fun () ->
+        fresh (fun () ->
+            let src = "2 + 2" in
+            let with_compiled b f =
+              let prev = Engine.compiled_eval_enabled () in
+              Engine.set_compiled_eval b;
+              Fun.protect ~finally:(fun () -> Engine.set_compiled_eval prev) f
+            in
+            with_compiled true (fun () -> ignore (Engine.compile_cached src));
+            with_compiled false (fun () -> ignore (Engine.compile_cached src));
+            check Alcotest.int "no cross-mode hit" 2 (qstats ()).QC.misses;
+            with_compiled true (fun () -> ignore (Engine.compile_cached src));
+            check Alcotest.int "same-mode re-compile hits" 1 (qstats ()).QC.hits;
+            (* the compiled-mode artifact carries closure code, the
+               interpreted-mode one must not *)
+            let has_code (c : Engine.compiled) =
+              match c.Engine.code with Some _ -> true | None -> false
+            in
+            check Alcotest.bool "C1 entry carries code" true
+              (has_code (with_compiled true (fun () -> Engine.compile_cached src)));
+            check Alcotest.bool "C0 entry carries no code" false
+              (has_code
+                 (with_compiled false (fun () -> Engine.compile_cached src)))));
     t "different static contexts are different entries" (fun () ->
         fresh (fun () ->
             let src = "$w + 1" in

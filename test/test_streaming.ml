@@ -123,15 +123,27 @@ let counters f =
       let v = f () in
       (v, Obs.Metrics.counter Xdm_seq.pulls_metric))
 
-let bounded_pull_tests =
+let with_compiled compiled f =
+  let prev = Engine.compiled_eval_enabled () in
+  Engine.set_compiled_eval compiled;
+  Fun.protect ~finally:(fun () -> Engine.set_compiled_eval prev) f
+
+(* the bounded-pull assertions run twice: once against the
+   tree-walking evaluator and once against the closure-compiled path,
+   which must delegate its early-exit consumers to the same lazy
+   cursors — pull counts have to match pull-for-pull *)
+let bounded_pull_tests_for compiled =
+  let mode = if compiled then " (compiled)" else " (interpreted)" in
   let doc = rows_doc 1000 in
-  let run src = eval_doc ~doc ~streaming:true src in
+  let run src =
+    with_compiled compiled (fun () -> eval_doc ~doc ~streaming:true src)
+  in
   [
-    t "first-of-1000 pulls one item" (fun () ->
+    t ("first-of-1000 pulls one item" ^ mode) (fun () ->
         let v, pulls = counters (fun () -> run "string((//row)[1])") in
         check Alcotest.string "value" "v1" v;
         check Alcotest.bool "pulled once, not 1000" true (pulls <= 2));
-    t "exists with early hit pulls a bounded prefix" (fun () ->
+    t ("exists with early hit pulls a bounded prefix" ^ mode) (fun () ->
         let v, pulls =
           counters (fun () -> run "exists(//row[@hit='1'])")
         in
@@ -140,13 +152,13 @@ let bounded_pull_tests =
         check Alcotest.bool
           (Printf.sprintf "pulls %d <= 30" pulls)
           true (pulls <= 30));
-    t "bounded count pulls k+1 items" (fun () ->
+    t ("bounded count pulls k+1 items" ^ mode) (fun () ->
         let v, pulls = counters (fun () -> run "count(//row) > 5") in
         check Alcotest.string "value" "true" v;
         check Alcotest.bool
           (Printf.sprintf "pulls %d <= 8" pulls)
           true (pulls <= 8));
-    t "quantifier stops at the witness" (fun () ->
+    t ("quantifier stops at the witness" ^ mode) (fun () ->
         let v, pulls =
           counters (fun () ->
               run "some $v in //row satisfies $v/@hit = '1'")
@@ -155,12 +167,17 @@ let bounded_pull_tests =
         check Alcotest.bool
           (Printf.sprintf "pulls %d <= 30" pulls)
           true (pulls <= 30));
-    t "eager mode pulls nothing through cursors" (fun () ->
+    t ("eager mode pulls nothing through cursors" ^ mode) (fun () ->
         let _, pulls =
-          counters (fun () -> eval_doc ~doc ~streaming:false "(//row)[1]")
+          counters (fun () ->
+              with_compiled compiled (fun () ->
+                  eval_doc ~doc ~streaming:false "(//row)[1]"))
         in
         check Alcotest.int "no cursor pulls" 0 pulls);
   ]
+
+let bounded_pull_tests =
+  bounded_pull_tests_for false @ bounded_pull_tests_for true
 
 (* ---------- joined early-exit: the probe side streams ---------- *)
 
