@@ -1395,6 +1395,208 @@ let bench_t13 ?(check = false) () =
     print_endline "T13 check: results identical, speedup bar met, A/A ties"
   end
 
+(* ------------------------------------------------------------------ *)
+(* T14 — incremental recomputation: footprint-tracked listener dispatch *)
+
+(* A page of [regions] independent widgets, each a div of [vals_per]
+   <val> leaves, with one listener registration per div (so [regions]
+   memos). One "event" = mutate the first <val> of one region, then
+   dispatch "tick" to every region — a 1/[regions] mutation footprint.
+   Incremental dispatch re-runs the one intersecting listener and skips
+   the rest; the ablation re-runs all of them. *)
+let t14_page ~regions ~vals_per ~updating =
+  let buf = Buffer.create (regions * vals_per * 16) in
+  Buffer.add_string buf {|<html><head><script type="text/xquery">|};
+  Buffer.add_string buf
+    (if updating then
+       (* conditionally updating: pure (and skippable) until a region's
+          sum crosses the threshold, then it writes a marker. Initial
+          sums are ~1.5*vals_per and event mutations keep values in
+          0..3, so only a deliberate push (all 9s: 9*vals_per) crosses *)
+       Printf.sprintf
+         "declare updating function local:w($evt, $obj) { if \
+          (sum($obj//val) gt %d and count($obj/over) eq 0) then insert node \
+          <over/> into $obj else () };"
+         (5 * vals_per)
+     else "declare function local:w($evt, $obj) { sum($obj//val) };");
+  Buffer.add_string buf
+    {| on event "tick" at //div attach listener local:w</script></head><body>|};
+  for r = 0 to regions - 1 do
+    Buffer.add_string buf (Printf.sprintf {|<div id="r%d">|} r);
+    for j = 1 to vals_per do
+      Buffer.add_string buf (Printf.sprintf "<val>%d</val>" (j mod 4))
+    done;
+    Buffer.add_string buf "</div>"
+  done;
+  Buffer.add_string buf "</body></html>";
+  Buffer.contents buf
+
+let with_incremental enabled f =
+  Xquery.Reactive.set_incremental enabled;
+  Fun.protect
+    ~finally:(fun () -> Xquery.Reactive.set_incremental true)
+    f
+
+let bench_t14 ?(check = false) () =
+  section "T14"
+    "incremental recomputation: footprint-tracked listeners vs re-run-all";
+  let regions = if smoke_enabled () then 20 else 100 in
+  let vals_per = if smoke_enabled () then 10 else 100 in
+  let entries = ref [] in
+  let n_nodes = regions * vals_per in
+  (* build a browser under the given flag: disabling incremental drops
+     memo registrations for good, so each mode gets its own page *)
+  let setup ~updating () =
+    let b = browser_with ~page:(t14_page ~regions ~vals_per ~updating) () in
+    let doc = B.document b in
+    let divs =
+      Array.init regions (fun r ->
+          Option.get (Dom.get_element_by_id doc (Printf.sprintf "r%d" r)))
+    in
+    let vals =
+      Array.map
+        (fun d -> List.hd (Dom.get_elements_by_local_name d "val"))
+        divs
+    in
+    (b, divs, vals)
+  in
+  (* one event: mutate one region (or all, for the A/A row), dispatch
+     everywhere. Values stay single digits so the conditional writer's
+     threshold only matters to the equivalence check below. *)
+  let event ~all (b, divs, vals) =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      (* one batched changeset per event, like a PUL apply *)
+      Dom.with_batch (fun () ->
+          if all then
+            Array.iter
+              (fun v -> Dom.set_value v (string_of_int (!c mod 4)))
+              vals
+          else Dom.set_value vals.(!c mod regions) (string_of_int (!c mod 4)));
+      Array.iter (fun d -> B.dispatch b ~target:d "tick") divs
+  in
+  (* correctness first: the ablation switch is the test oracle. Drive
+     an identical deterministic event sequence through both modes —
+     including conditionally-updating listeners that cross their
+     threshold mid-sequence — and require identical final documents. *)
+  let final_doc ~incremental ~updating =
+    with_incremental incremental (fun () ->
+        let ((b, divs, _) as st) = setup ~updating () in
+        let ev = event ~all:false st in
+        for _ = 1 to 3 * regions do
+          ev ()
+        done;
+        (* push region 0 over the conditional threshold, then keep the
+           event stream going: the conditional write must fire (and fire
+           once) in both modes *)
+        List.iter
+          (fun v -> Dom.set_value v "9")
+          (Dom.get_elements_by_local_name (Array.get divs 0) "val");
+        for _ = 1 to regions do
+          ev ()
+        done;
+        Dom.serialize (B.document b))
+  in
+  List.iter
+    (fun updating ->
+      let inc = final_doc ~incremental:true ~updating in
+      let full = final_doc ~incremental:false ~updating in
+      if not (String.equal inc full) then begin
+        Printf.eprintf
+          "T14 FAIL: incremental diverges from full re-evaluation \
+           (updating=%b)\n"
+          updating;
+        exit 1
+      end)
+    [ false; true ];
+  Printf.printf "equivalence: incremental == full on %d-node pages\n\n" n_nodes;
+  Printf.printf "%-8d %-18s %14s %14s %9s\n" n_nodes "workload" "incremental"
+    "re-run-all" "speedup";
+  let skip_ratio = ref 0. in
+  let measure ~name ~all ~updating =
+    let time ~incremental =
+      with_incremental incremental (fun () ->
+          let st = setup ~updating () in
+          let ev = event ~all st in
+          ev ();
+          (* warm every memo *)
+          let s0 = Xquery.Reactive.counter_stats () in
+          let ns = ns_per_run ev in
+          (ns, s0, Xquery.Reactive.counter_stats ()))
+    in
+    let fast, s0, s1 = time ~incremental:true in
+    let slow, _, _ = time ~incremental:false in
+    let speedup = slow /. fast in
+    let delta k = List.assoc k s1 - List.assoc k s0 in
+    (if name = "pure-agg" then
+       let reruns = max 1 (delta "reruns") in
+       skip_ratio := float_of_int (delta "skips") /. float_of_int reruns);
+    Printf.printf "%-8s %-18s %14s %14s %8.1fx\n" "" name (pretty_ns fast)
+      (pretty_ns slow) speedup;
+    entries :=
+      json_entry ~name:(name ^ "/full") ~n:n_nodes slow
+      :: json_entry ~name ~n:n_nodes ~speedup fast
+      :: !entries;
+    speedup
+  in
+  let pure_speedup = measure ~name:"pure-agg" ~all:false ~updating:false in
+  let _ = measure ~name:"cond-write" ~all:false ~updating:true in
+  Printf.printf "skip/rerun ratio during pure-agg: %.1f\n" !skip_ratio;
+  entries :=
+    json_entry ~name:"counters/skip-ratio" ~n:n_nodes !skip_ratio :: !entries;
+  write_json ~file:"BENCH_T14.json" (List.rev !entries);
+  if check then begin
+    (* gate (a): the 1%-footprint workload must clear the speedup bar.
+       The smoke bar sits low like T13's: on 200-node smoke pages the
+       per-dispatch fixed costs (event construction, fingerprinting)
+       dilute the skip win that the 10k-node run shows in full *)
+    let bar = if smoke_enabled () then 1.5 else 10. in
+    if pure_speedup < bar then begin
+      Printf.eprintf "T14 FAIL: pure-agg speedup %.1fx below %.1fx bar\n"
+        pure_speedup bar;
+      exit 1
+    end;
+    (* gate (b): counters prove dispatches were skipped, not run and
+       discarded — with [regions] listeners and one dirtied per event,
+       the skip:rerun ratio is about regions-1 *)
+    let ratio_bar = if smoke_enabled () then 5. else 10. in
+    if !skip_ratio < ratio_bar then begin
+      Printf.eprintf "T14 FAIL: skip/rerun ratio %.1f below %.1f\n" !skip_ratio
+        ratio_bar;
+      exit 1
+    end;
+    (* gate (c): A/A — when every region is dirtied every event (100%
+       footprint), incremental dispatch re-runs everything and must not
+       regress beyond its bookkeeping overhead (footprint recording on
+       each run + intersection per commit); retried to absorb scheduler
+       hiccups *)
+    let rec aa tries =
+      let time ~incremental =
+        with_incremental incremental (fun () ->
+            let st = setup ~updating:false () in
+            let ev = event ~all:true st in
+            ev ();
+            ns_per_run ev)
+      in
+      let on = time ~incremental:true in
+      let off = time ~incremental:false in
+      let delta = (on -. off) /. off in
+      Printf.printf "A/A full-footprint delta (try %d): %+.1f%%\n" tries
+        (100. *. delta);
+      if delta <= 0.20 then ()
+      else if tries >= 3 then begin
+        Printf.eprintf
+          "T14 FAIL: incremental dispatch regresses the full-footprint A/A \
+           by more than 20%% after 3 tries\n";
+        exit 1
+      end
+      else aa (tries + 1)
+    in
+    aa 1;
+    print_endline "T14 check: equivalent, speedup bar met, skips proven, A/A ok"
+  end
+
 let () =
   let only = ref [] in
   let check = ref false in
@@ -1441,4 +1643,5 @@ let () =
   run "t11" (bench_t11 ~check:!check);
   run "t12" (bench_t12 ~check:!check);
   run "t13" (bench_t13 ~check:!check);
+  run "t14" (bench_t14 ~check:!check);
   print_endline "\ndone."

@@ -110,6 +110,16 @@ let no_compiled_eval_arg =
            closure-compiled code (A/B baseline for compiled evaluation; \
            see the compile element of browser:stats()).")
 
+let no_incremental_arg =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Disable incremental listener recomputation: every event \
+           dispatch re-runs every matching listener instead of skipping \
+           those whose read footprint no mutation has touched (A/B \
+           baseline; see the reactive element of browser:stats()).")
+
 let obs_setup ~trace ~metrics =
   if trace <> None then Obs.Trace.set_enabled true;
   if metrics || trace <> None then Obs.Metrics.set_enabled true
@@ -118,10 +128,12 @@ let cache_setup ~no_cache = if no_cache then Xquery.Query_cache.set_enabled fals
 let streaming_setup ~no_streaming =
   if no_streaming then Xquery.Eval.set_streaming false
 
-let plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval =
+let plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval
+    ~no_incremental =
   if no_value_index then Dom.set_value_index false;
   if no_join_planner then Xquery.Optimizer.set_join_planning false;
-  if no_compiled_eval then Xquery.Engine.set_compiled_eval false
+  if no_compiled_eval then Xquery.Engine.set_compiled_eval false;
+  if no_incremental then Xquery.Reactive.set_incremental false
 
 let cache_report ~cache_stats =
   if cache_stats then begin
@@ -177,11 +189,12 @@ let eval_cmd =
     Arg.(value & opt bool true & info [ "optimize" ] ~doc:"Run the rewrite optimizer.")
   in
   let run expr optimize trace metrics no_cache cache_stats no_streaming
-      no_value_index no_join_planner no_compiled_eval =
+      no_value_index no_join_planner no_compiled_eval no_incremental =
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
     streaming_setup ~no_streaming;
-    plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval;
+    plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval
+      ~no_incremental;
     handle (fun () ->
         print_result (Xquery.Engine.eval_string ~optimize expr);
         obs_report ~trace ~metrics;
@@ -191,18 +204,19 @@ let eval_cmd =
     Term.(
       const run $ expr $ optimize $ trace_arg $ metrics_arg $ no_cache_arg
       $ cache_stats_arg $ no_streaming_arg $ no_value_index_arg
-      $ no_join_planner_arg $ no_compiled_eval_arg)
+      $ no_join_planner_arg $ no_compiled_eval_arg $ no_incremental_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xq") in
   let run file trace metrics no_cache cache_stats no_streaming no_value_index
-      no_join_planner no_compiled_eval =
+      no_join_planner no_compiled_eval no_incremental =
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
     streaming_setup ~no_streaming;
-    plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval;
+    plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval
+      ~no_incremental;
     handle (fun () ->
         print_result (Xquery.Engine.eval_string (read_file file));
         obs_report ~trace ~metrics;
@@ -213,7 +227,7 @@ let run_cmd =
     Term.(
       const run $ file $ trace_arg $ metrics_arg $ no_cache_arg
       $ cache_stats_arg $ no_streaming_arg $ no_value_index_arg
-      $ no_join_planner_arg $ no_compiled_eval_arg)
+      $ no_join_planner_arg $ no_compiled_eval_arg $ no_incremental_arg)
 
 (* ---- page ---- *)
 
@@ -258,7 +272,7 @@ let page_cmd =
   in
   let run file clicks types show_doc render uppercase query fault_rate seed
       trace metrics no_cache cache_stats no_streaming no_value_index
-      no_join_planner no_compiled_eval =
+      no_join_planner no_compiled_eval no_incremental =
     if fault_rate < 0. || fault_rate >= 1. then begin
       Printf.eprintf "error: --fault-rate must be in [0, 1), got %g\n" fault_rate;
       exit 2
@@ -266,7 +280,8 @@ let page_cmd =
     obs_setup ~trace ~metrics;
     cache_setup ~no_cache;
     streaming_setup ~no_streaming;
-    plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval;
+    plan_setup ~no_value_index ~no_join_planner ~no_compiled_eval
+      ~no_incremental;
     handle (fun () ->
         Minijs.Js_interp.install ();
         let b =
@@ -343,7 +358,7 @@ let page_cmd =
       const run $ file $ clicks $ types $ show_doc $ render $ uppercase $ query
       $ fault_rate $ seed $ trace_arg $ metrics_arg $ no_cache_arg
       $ cache_stats_arg $ no_streaming_arg $ no_value_index_arg
-      $ no_join_planner_arg $ no_compiled_eval_arg)
+      $ no_join_planner_arg $ no_compiled_eval_arg $ no_incremental_arg)
 
 (* ---- migrate ---- *)
 

@@ -25,6 +25,12 @@
 # two full-materialisation queries clear the speedup bar, or if an
 # opaque-fallback workload (which both modes run through the
 # tree-walker) regresses by more than 10%.
+# The T14 line gates incremental recomputation: it fails if the
+# incremental page diverges from the full-recompute oracle (pure and
+# updating listeners), if the pure-aggregate speedup or the skip/rerun
+# ratio drops below the bar, or if an A/A full-footprint workload
+# (where every mutation touches every listener, so nothing can be
+# skipped) regresses by more than 20%.
 set -eu
 cd "$(dirname "$0")"
 dune build @all
@@ -35,3 +41,4 @@ dune exec bench/main.exe -- --smoke --only t10 --check > /dev/null
 dune exec bench/main.exe -- --smoke --only t11 --check > /dev/null
 dune exec bench/main.exe -- --smoke --only t12 --check > /dev/null
 dune exec bench/main.exe -- --smoke --only t13 --check > /dev/null
+dune exec bench/main.exe -- --smoke --only t14 --check > /dev/null

@@ -88,6 +88,9 @@ let document t = t.top_window.Windows.document
 let alerts t = List.rev t.alerts
 let clear_alerts t = t.alerts <- []
 
+(* memoized: re-rendering a page no event actually changed is a lookup *)
+let render ?options t = Renderer.render_cached ?options (document t)
+
 let dispatch t ?(detail = []) ~target event_type =
   let t0 = Virtual_clock.now t.clock in
   t.events_dispatched <- t.events_dispatched + 1;
@@ -134,13 +137,13 @@ let host_for t window =
         (* non-blocking: the computation runs as its own event-loop
            task; signals mimic XMLHttpRequest readyState (§4.4) *)
         Virtual_clock.schedule t.clock ~delay:0. (fun () ->
-            listener.DC.invoke
-              [ [ Xdm_item.Atomic (Xdm_atomic.Integer 1) ]; [] ];
+            listener.DC.invoke (fun () ->
+                [ [ Xdm_item.Atomic (Xdm_atomic.Integer 1) ]; [] ]);
             match computation () with
             | result ->
                 Virtual_clock.schedule t.clock ~delay:0. (fun () ->
-                    listener.DC.invoke
-                      [ [ Xdm_item.Atomic (Xdm_atomic.Integer 4) ]; result ])
+                    listener.DC.invoke (fun () ->
+                        [ [ Xdm_item.Atomic (Xdm_atomic.Integer 4) ]; result ]))
             | exception Xquery.Xq_error.Error e ->
                 (* a failing async call must not kill the event loop:
                    record it like a browser's network error console and
@@ -150,11 +153,11 @@ let host_for t window =
                 let msg = Xquery.Xq_error.to_string e in
                 t.script_errors <- msg :: t.script_errors;
                 Virtual_clock.schedule t.clock ~delay:0. (fun () ->
-                    listener.DC.invoke
-                      [
-                        [ Xdm_item.Atomic (Xdm_atomic.Integer 0) ];
-                        [ Xdm_item.Atomic (Xdm_atomic.String msg) ];
-                      ])));
+                    listener.DC.invoke (fun () ->
+                        [
+                          [ Xdm_item.Atomic (Xdm_atomic.Integer 0) ];
+                          [ Xdm_item.Atomic (Xdm_atomic.String msg) ];
+                        ]))));
     DC.trigger =
       (fun ~event_type ~targets ->
         List.iter

@@ -70,6 +70,11 @@ val alerts : t -> string list
 
 val clear_alerts : t -> unit
 
+(** Render the page through {!Renderer.render_cached}: when an event
+    changed nothing (all listeners skipped by reactive dispatch), the
+    re-render is a memo lookup. *)
+val render : ?options:Renderer.options -> t -> string
+
 (** {1 Event dispatch and user simulation} *)
 
 (** Dispatch an event synchronously, accounting the virtual time the

@@ -195,6 +195,8 @@ let install (b : Browser.t) (window : Windows.t) sctx =
         (string_of_bool (Xquery.Optimizer.join_planning_enabled ()));
       attr root "compiled-eval-enabled"
         (string_of_bool (Xquery.Engine.compiled_eval_enabled ()));
+      attr root "incremental-enabled"
+        (string_of_bool (Xquery.Reactive.active ()));
       let counters = Dom.create_element (Qname.make "counters") in
       Dom.append_child ~parent:root counters;
       List.iter
@@ -243,6 +245,13 @@ let install (b : Browser.t) (window : Windows.t) sctx =
       attr st "materializations"
         (string_of_int (Obs.Metrics.counter Xdm_seq.materialize_metric));
       Dom.append_child ~parent:root st;
+      let re = Dom.create_element (Qname.make "reactive") in
+      attr re "enabled" (string_of_bool (Xquery.Reactive.active ()));
+      attr re "listeners" (string_of_int (Xquery.Reactive.table_size ()));
+      List.iter
+        (fun (name, v) -> attr re name (string_of_int v))
+        (Xquery.Reactive.counter_stats ());
+      Dom.append_child ~parent:root re;
       [ I.Node root ]);
 
   (* document write (the paper notes best practice is XDM updates) *)

@@ -101,7 +101,7 @@ let fresh_state (b : Browser.t) window =
         | None -> 0.
       in
       Virtual_clock.schedule b.Browser.clock ~delay (fun () ->
-          listener.DC.invoke []);
+          listener.DC.invoke (fun () -> []));
       []);
   register "getStyle" 2 (fun _ args ->
       let prop = Xdm_item.sequence_string (List.nth args 1) in

@@ -175,3 +175,30 @@ let render ?(options = default_options) node =
 
 let line_count ?options node =
   List.length (String.split_on_char '\n' (render ?options node))
+
+(* ------------------------------------------------------------------ *)
+(* Generation-keyed memo: every DOM mutation bumps the tree's accel
+   generation (styles live in the [style] attribute, so they bump it
+   too), making (node id, generation, options) a sound cache key. When
+   reactive dispatch skips every listener an event would have run, the
+   generation is unchanged and the re-render is a table lookup. *)
+
+let memo_capacity = 64
+let memo_table : (string, string) Hashtbl.t = Hashtbl.create memo_capacity
+
+let render_cached ?(options = default_options) node =
+  let key =
+    Printf.sprintf "%d:%d:%d:%b" (Dom.id node) (Dom.generation node)
+      options.width options.show_hidden
+  in
+  match Hashtbl.find_opt memo_table key with
+  | Some text ->
+      if !Obs.Metrics.enabled then Obs.Metrics.incr "render.memo.hit";
+      text
+  | None ->
+      if !Obs.Metrics.enabled then Obs.Metrics.incr "render.memo.miss";
+      if Hashtbl.length memo_table >= memo_capacity then
+        Hashtbl.reset memo_table;
+      let text = render ~options node in
+      Hashtbl.add memo_table key text;
+      text

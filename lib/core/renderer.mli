@@ -18,3 +18,9 @@ val render : ?options:options -> Dom.node -> string
 
 (** Number of lines the rendering produced (cheap layout metric). *)
 val line_count : ?options:options -> Dom.node -> int
+
+(** Like {!render}, but memoized on (node id, accel generation,
+    options): a re-render of an unmutated tree — e.g. after an event
+    whose listeners were all skipped by reactive dispatch — is a table
+    lookup. Bounded; emits [render.memo.hit]/[render.memo.miss]. *)
+val render_cached : ?options:options -> Dom.node -> string

@@ -21,6 +21,12 @@ and accel = {
   mutable gen : int;
       (* bumped by every mutation under this root; caches whose
          [*_gen] stamp differs are stale and relabel on demand *)
+  mutable egen : int;
+      (* element-structure generation: bumped only by mutations that
+         can change which elements exist, their names, or their id
+         attributes. Value-only mutations (text/attribute content)
+         leave it alone, so the id / local-name element indexes
+         survive them *)
   mutable keys_gen : int;
   okeys : (int, int) Hashtbl.t;  (* nid -> document-order ordinal *)
   mutable idx_gen : int;
@@ -170,6 +176,15 @@ let value_index_enabled () = !value_index
    becomes parentless: its caches may describe a tree it was part of
    while attached (mutations there only bumped the attached root). *)
 let touch n =
+  match n.naccel with
+  | Some s ->
+      s.gen <- s.gen + 1;
+      s.egen <- s.egen + 1
+  | None -> ()
+
+(* Mark only value-dependent caches stale: the mutation changed text or
+   attribute content but no element's existence, name, or id. *)
+let touch_values n =
   match n.naccel with Some s -> s.gen <- s.gen + 1 | None -> ()
 
 (* Mark the tree containing [n] as mutated. *)
@@ -182,6 +197,7 @@ let accel_of r =
       let s =
         {
           gen = 0;
+          egen = 0;
           keys_gen = -1;
           okeys = Hashtbl.create 64;
           idx_gen = -1;
@@ -221,7 +237,7 @@ let ensure_keys r s =
   end
 
 let ensure_indexes r s =
-  if s.idx_gen = s.gen then begin
+  if s.idx_gen = s.egen then begin
     if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.accel.index.hit"
   end
   else begin
@@ -246,10 +262,10 @@ let ensure_indexes r s =
     let rev tbl = Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl in
     rev s.by_id;
     rev s.by_name;
-    s.idx_gen <- s.gen
+    s.idx_gen <- s.egen
   end
 
-let rec string_value n =
+let rec string_value_rec n =
   match n.nkind with
   | P_text t -> t.tcontent
   | P_attribute a -> a.avalue
@@ -260,9 +276,16 @@ let rec string_value n =
         (List.filter_map
            (fun c ->
              match c.nkind with
-             | P_text _ | P_element _ -> Some (string_value c)
+             | P_text _ | P_element _ -> Some (string_value_rec c)
              | P_document _ | P_attribute _ | P_comment _ | P_pi _ -> None)
            (children n))
+
+(* the single choke point for atomization and fn:string on nodes: a
+   string-value read depends on the whole subtree *)
+let string_value n =
+  if Footprint.recording () then
+    Footprint.reading_scope ~root:(root n).nid ~node:n.nid;
+  string_value_rec n
 
 (* nearest first *)
 let ancestors n =
@@ -411,12 +434,93 @@ let observe ~root:oroot callback =
 
 let unobserve oid = Hashtbl.remove observers oid
 
-let notify node mutation =
-  invalidate node;
-  if Hashtbl.length observers > 0 then begin
-    let r = root node in
-    Hashtbl.iter (fun _ o -> if o.oroot == r then o.callback mutation) observers
-  end
+(* Per-mutation write-footprint extras: what beyond the mutation point
+   the mutation touched. Subtree scans are deferred so they only run
+   when the mutated tree is footprint-tracked. *)
+type fp_item =
+  | FP_subtree of node  (* inserted/removed/replaced subtree *)
+  | FP_name of string  (* a local name whose index buckets changed *)
+  | FP_id of string  (* an id attribute value added/removed/changed *)
+  | FP_key of string * string  (* (attr local name, value) key touched *)
+
+let fp_scan_subtree w n =
+  let rec walk n =
+    (match n.nkind with
+    | P_element e ->
+        Footprint.add_wname w e.ename.Qname.local;
+        List.iter
+          (fun a ->
+            match a.nkind with
+            | P_attribute { aname; avalue } ->
+                Footprint.add_wkey w ~local:aname.Qname.local avalue;
+                if String.equal aname.Qname.local "id" then
+                  Footprint.add_wid w avalue
+            | _ -> ())
+          e.eattrs
+    | _ -> ());
+    List.iter walk (children n)
+  in
+  walk n
+
+(* Observer notifications queue while a batch is open (one PUL apply =
+   one coherent post-apply changeset) and flush, in mutation order, when
+   the outermost batch closes. Generation bumps (cache invalidation)
+   stay immediate. *)
+let batch_depth = ref 0
+let batch_queue : (node * mutation) list ref = ref []
+
+let deliver r mutation =
+  Hashtbl.iter (fun _ o -> if o.oroot == r then o.callback mutation) observers
+
+let notify ?(fp = []) node mutation =
+  let r = root node in
+  (* A value-only mutation (text or non-id attribute content) cannot
+     change which elements exist, their names, or their ids, so the
+     element indexes survive it; anything touching an id value carries
+     an [FP_id] in its footprint extras. Element [set_value] swaps its
+     text children but emits [Value_changed]: element topology is
+     untouched, and the detach path already staled the total
+     generation for the ordinal and value caches. *)
+  let structural =
+    match mutation with
+    | Value_changed _ | Attribute_changed _ ->
+        List.exists (function FP_id _ -> true | _ -> false) fp
+    | Children_changed _ | Renamed _ -> true
+  in
+  if structural then touch r else touch_values r;
+  (* invalidate, with the root computed once *)
+  if Footprint.capturing r.nid then begin
+    let chain = node.nid :: List.map (fun a -> a.nid) (ancestors node) in
+    let w = Footprint.fresh_wrec ~root:r.nid ~chain in
+    List.iter
+      (function
+        | FP_subtree n -> fp_scan_subtree w n
+        | FP_name l -> Footprint.add_wname w l
+        | FP_id v -> Footprint.add_wid w v
+        | FP_key (local, v) -> Footprint.add_wkey w ~local v)
+      fp;
+    Footprint.record_write w
+  end;
+  if Hashtbl.length observers > 0 then
+    if !batch_depth > 0 then begin
+      if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.notify.batched";
+      batch_queue := (r, mutation) :: !batch_queue
+    end
+    else deliver r mutation;
+  if !batch_depth = 0 then Footprint.commit ()
+
+let with_batch f =
+  incr batch_depth;
+  Fun.protect
+    ~finally:(fun () ->
+      decr batch_depth;
+      if !batch_depth = 0 then begin
+        let q = List.rev !batch_queue in
+        batch_queue := [];
+        List.iter (fun (r, m) -> deliver r m) q;
+        Footprint.commit ()
+      end)
+    f
 
 (* ------------------------------------------------------------------ *)
 (* Mutation                                                            *)
@@ -438,7 +542,15 @@ let detach n =
   match n.nparent with
   | None -> ()
   | Some p ->
-      invalidate p;
+      (* detaching a text/comment/pi (or a non-id attribute) removes no
+         element and no id: ordinals and value caches stale, element
+         indexes survive *)
+      (match n.nkind with
+      | P_element _ | P_document _ -> invalidate p
+      | P_attribute a when String.equal a.aname.Qname.local "id" ->
+          invalidate p
+      | P_attribute _ | P_text _ | P_comment _ | P_pi _ ->
+          touch_values (root p));
       (match n.nkind with
       | P_attribute _ -> (
           match p.nkind with
@@ -448,29 +560,37 @@ let detach n =
       n.nparent <- None;
       touch n
 
+(* Footprint extras for an attribute: its (local, value) key, plus the
+   id index when the attribute is an id. *)
+let fp_attr local v =
+  FP_key (local, v) :: (if String.equal local "id" then [ FP_id v ] else [])
+
 let remove n =
   match n.nparent with
   | None -> ()
-  | Some p ->
-      let is_attr = match n.nkind with P_attribute _ -> true | _ -> false in
-      detach n;
-      if is_attr then
-        notify p (Attribute_changed (p, Option.get (name n)))
-      else notify p (Children_changed p)
+  | Some p -> (
+      match n.nkind with
+      | P_attribute { aname; avalue } ->
+          detach n;
+          notify ~fp:(fp_attr aname.Qname.local avalue) p
+            (Attribute_changed (p, aname))
+      | _ ->
+          detach n;
+          notify ~fp:[ FP_subtree n ] p (Children_changed p))
 
 let append_child ~parent n =
   assert_insertable n;
   detach n;
   set_children parent (children parent @ [ n ]);
   n.nparent <- Some parent;
-  notify parent (Children_changed parent)
+  notify ~fp:[ FP_subtree n ] parent (Children_changed parent)
 
 let insert_first ~parent n =
   assert_insertable n;
   detach n;
   set_children parent (n :: children parent);
   n.nparent <- Some parent;
-  notify parent (Children_changed parent)
+  notify ~fp:[ FP_subtree n ] parent (Children_changed parent)
 
 let insert_relative ~before ~sibling n =
   assert_insertable n;
@@ -486,7 +606,7 @@ let insert_relative ~before ~sibling n =
       in
       set_children p (weave (children p));
       n.nparent <- Some p;
-      notify p (Children_changed p)
+      notify ~fp:[ FP_subtree n ] p (Children_changed p)
 
 let insert_before ~sibling n = insert_relative ~before:true ~sibling n
 let insert_after ~sibling n = insert_relative ~before:false ~sibling n
@@ -498,18 +618,24 @@ let replace n replacements =
       match n.nkind with
       | P_attribute _ ->
           detach n;
+          let fp = ref [] in
+          (match n.nkind with
+          | P_attribute { aname; avalue } ->
+              fp := fp_attr aname.Qname.local avalue
+          | _ -> ());
           List.iter
             (fun r ->
               match r.nkind with
-              | P_attribute _ ->
+              | P_attribute { aname; avalue } ->
                   detach r;
                   (match p.nkind with
                   | P_element e -> e.eattrs <- e.eattrs @ [ r ]
                   | _ -> err "attribute replacement target is not an element");
-                  r.nparent <- Some p
+                  r.nparent <- Some p;
+                  fp := fp_attr aname.Qname.local avalue @ !fp
               | _ -> err "an attribute can only be replaced by attributes")
             replacements;
-          notify p (Attribute_changed (p, Option.get (name n)))
+          notify ~fp:!fp p (Attribute_changed (p, Option.get (name n)))
       | _ ->
           List.iter assert_insertable replacements;
           let rec weave = function
@@ -525,9 +651,29 @@ let replace n replacements =
               touch r;
               r.nparent <- Some p)
             replacements;
-          notify p (Children_changed p))
+          notify
+            ~fp:(FP_subtree n :: List.map (fun r -> FP_subtree r) replacements)
+            p (Children_changed p))
 
 let set_value n v =
+  let fp =
+    match n.nkind with
+    | P_attribute a ->
+        let local = a.aname.Qname.local in
+        fp_attr local a.avalue @ fp_attr local v
+    | P_text _ -> (
+        (* text content feeds the parent element's text-value index *)
+        match n.nparent with
+        | Some { nkind = P_element e; _ } -> [ FP_name e.ename.Qname.local ]
+        | _ -> [])
+    | P_comment _ | P_pi _ -> []
+    | P_element e ->
+        (* replaceElementContent: old children go away; the element's
+           own text-index key changes *)
+        FP_name e.ename.Qname.local
+        :: List.map (fun c -> FP_subtree c) (children n)
+    | P_document _ -> List.map (fun c -> FP_subtree c) (children n)
+  in
   (match n.nkind with
   | P_attribute a -> a.avalue <- v
   | P_text t -> t.tcontent <- v
@@ -538,15 +684,22 @@ let set_value n v =
       let t = create_text v in
       set_children n [ t ];
       t.nparent <- Some n);
-  notify n (Value_changed n)
+  notify ~fp n (Value_changed n)
 
 let rename n qn =
+  let fp =
+    match n.nkind with
+    | P_element e -> [ FP_name e.ename.Qname.local; FP_name qn.Qname.local ]
+    | P_attribute a ->
+        fp_attr a.aname.Qname.local a.avalue @ fp_attr qn.Qname.local a.avalue
+    | _ -> []
+  in
   (match n.nkind with
   | P_element e -> e.ename <- qn
   | P_attribute a -> a.aname <- qn
   | P_document _ | P_text _ | P_comment _ | P_pi _ ->
       err "only elements and attributes can be renamed");
-  notify n (Renamed n)
+  notify ~fp n (Renamed n)
 
 let set_attribute el qn v =
   match el.nkind with
@@ -560,44 +713,56 @@ let set_attribute el qn v =
           e.eattrs
       with
       | Some a ->
+          let old =
+            match a.nkind with P_attribute r -> r.avalue | _ -> assert false
+          in
           (match a.nkind with
           | P_attribute r -> r.avalue <- v
           | _ -> assert false);
-          notify el (Attribute_changed (el, qn))
+          notify
+            ~fp:(fp_attr qn.Qname.local old @ fp_attr qn.Qname.local v)
+            el
+            (Attribute_changed (el, qn))
       | None ->
           let a = create_attribute qn v in
           a.nparent <- Some el;
           e.eattrs <- e.eattrs @ [ a ];
-          notify el (Attribute_changed (el, qn)))
+          notify ~fp:(fp_attr qn.Qname.local v) el (Attribute_changed (el, qn)))
   | _ -> err "set_attribute: not an element"
 
 let remove_attribute el qn =
   match el.nkind with
   | P_element e ->
+      let fp = ref [] in
       e.eattrs <-
         List.filter
           (fun a ->
             match a.nkind with
-            | P_attribute { aname; _ } -> not (Qname.equal aname qn)
+            | P_attribute { aname; avalue } when Qname.equal aname qn ->
+                fp := fp_attr aname.Qname.local avalue @ !fp;
+                false
             | _ -> true)
           e.eattrs;
-      notify el (Attribute_changed (el, qn))
+      notify ~fp:!fp el (Attribute_changed (el, qn))
   | _ -> err "remove_attribute: not an element"
 
 let append_attribute ~parent a =
   match (parent.nkind, a.nkind) with
-  | P_element e, P_attribute { aname; _ } ->
+  | P_element e, P_attribute { aname; avalue } ->
       detach a;
       e.eattrs <- e.eattrs @ [ a ];
       a.nparent <- Some parent;
-      notify parent (Attribute_changed (parent, aname))
+      notify
+        ~fp:(fp_attr aname.Qname.local avalue)
+        parent
+        (Attribute_changed (parent, aname))
   | _ -> err "append_attribute: expects an element and an attribute"
 
-let rec clone n =
+let rec clone_rec n =
   match n.nkind with
   | P_document d ->
       let doc = create_document ?uri:d.uri () in
-      List.iter (fun c -> append_child ~parent:doc (clone c)) d.dchildren;
+      List.iter (fun c -> append_child ~parent:doc (clone_rec c)) d.dchildren;
       doc
   | P_element e ->
       let el = create_element e.ename in
@@ -607,12 +772,19 @@ let rec clone n =
           | P_attribute { aname; avalue } -> set_attribute el aname avalue
           | _ -> ())
         e.eattrs;
-      List.iter (fun c -> append_child ~parent:el (clone c)) e.echildren;
+      List.iter (fun c -> append_child ~parent:el (clone_rec c)) e.echildren;
       el
   | P_attribute a -> create_attribute a.aname a.avalue
   | P_text t -> create_text t.tcontent
   | P_comment c -> create_comment c.ccontent
   | P_pi p -> create_pi ~target:p.target p.pcontent
+
+(* A clone observes the whole source subtree; one scope record covers
+   it (no-op outside recorded listener runs). *)
+let clone n =
+  if Footprint.recording () then
+    Footprint.reading_scope ~root:(root n).nid ~node:n.nid;
+  clone_rec n
 
 (* ------------------------------------------------------------------ *)
 (* Conversion                                                          *)
@@ -694,23 +866,37 @@ let rec scan_element_by_id n idv =
       None (children n)
 
 let get_element_by_id n idv =
-  if !acceleration then begin
-    if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.lookup.by-id";
-    let r = root n in
-    let s = accel_of r in
-    ensure_indexes r s;
-    match Hashtbl.find_opt s.by_id idv with
-    | None | Some [] -> None
-    | Some (first :: _ as bucket) ->
-        if n == r then Some first
-        else List.find_opt (fun c -> in_subtree ~top:n c) bucket
-  end
-  else begin
-    if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.lookup.by-id.naive";
-    scan_element_by_id n idv
-  end
+  let hit =
+    if !acceleration then begin
+      if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.lookup.by-id";
+      let r = root n in
+      let s = accel_of r in
+      ensure_indexes r s;
+      match Hashtbl.find_opt s.by_id idv with
+      | None | Some [] -> None
+      | Some (first :: _ as bucket) ->
+          if n == r then Some first
+          else List.find_opt (fun c -> in_subtree ~top:n c) bucket
+    end
+    else begin
+      if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.lookup.by-id.naive";
+      scan_element_by_id n idv
+    end
+  in
+  if Footprint.recording () then begin
+    let rid = (root n).nid in
+    Footprint.reading_id ~root:rid ~scope:n.nid idv;
+    (* the found element's name/content/attributes are now observable
+       without further recorded steps: treat its subtree as read *)
+    match hit with
+    | Some el -> Footprint.reading_scope ~root:rid ~node:el.nid
+    | None -> ()
+  end;
+  hit
 
 let get_elements_by_local_name n local =
+  if Footprint.recording () then
+    Footprint.reading_name ~root:(root n).nid ~scope:n.nid local;
   if !acceleration then begin
     if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.lookup.by-name";
     let r = root n in
@@ -789,6 +975,16 @@ let ensure_value_indexes r s =
   end
 
 let value_lookup which n local v =
+  if Footprint.recording () then begin
+    (* Record the probe whether or not the index can answer: the scan
+       fallback covers a superset, so this is conservative either way.
+       Text probes record the local name (a text-value change under a
+       flat element writes its name), attribute probes the exact key. *)
+    let rid = (root n).nid in
+    match which with
+    | `Attr -> Footprint.reading_key ~root:rid ~scope:n.nid ~local v
+    | `Text -> Footprint.reading_name ~root:rid ~scope:n.nid local
+  end;
   if not !value_index then None
   else begin
     let r = root n in

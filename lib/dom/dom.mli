@@ -192,6 +192,14 @@ val observe : root:node -> (mutation -> unit) -> observer_id
 
 val unobserve : observer_id -> unit
 
+(** Run [f] with observer notifications batched: mutations performed
+    inside [f] queue their notifications and deliver them, in mutation
+    order, when the outermost batch closes — so observers (and the
+    footprint dirtiness pass) see one coherent post-apply changeset
+    instead of mid-transaction state. Generation bumps stay immediate.
+    Nestable; exception-safe (queued notifications still flush). *)
+val with_batch : (unit -> 'a) -> 'a
+
 (** {1 Conversion} *)
 
 (** Build a document node from parsed XML. *)

@@ -44,6 +44,11 @@ let invocations = ref 0
 
 let node_listeners node = Option.value ~default:[] (Hashtbl.find_opt table (Dom.id node))
 
+(* Invoked with every listener id dropped from the table — explicit
+   removal, same-name replacement, or reset — so dependent state keyed
+   by listener id (the reactive layer's memos) is discarded with it. *)
+let drop_hook : (int -> unit) ref = ref (fun _ -> ())
+
 let set_node_listeners node ls =
   if ls = [] then Hashtbl.remove table (Dom.id node)
   else Hashtbl.replace table (Dom.id node) ls
@@ -56,13 +61,17 @@ let add_listener node ~event_type ?(capture = false) ?name callback =
     match name with
     | None -> existing
     | Some n ->
-        List.filter
-          (fun o ->
-            not
-              (o.lname = Some n
-              && String.equal o.event_type event_type
-              && o.capture = capture))
-          existing
+        let keep, replaced =
+          List.partition
+            (fun o ->
+              not
+                (o.lname = Some n
+                && String.equal o.event_type event_type
+                && o.capture = capture))
+            existing
+        in
+        List.iter (fun o -> !drop_hook o.lid) replaced;
+        keep
   in
   set_node_listeners node (existing @ [ l ]);
   l.lid
@@ -75,6 +84,7 @@ let remove_listener lid =
   match !found with
   | None -> ()
   | Some (nid, ls) -> (
+      !drop_hook lid;
       match List.filter (fun l -> l.lid <> lid) ls with
       | [] -> Hashtbl.remove table nid
       | ls -> Hashtbl.replace table nid ls)
@@ -87,6 +97,7 @@ let remove_named_listener node ~event_type ~name =
       ls
   in
   set_node_listeners node keep;
+  List.iter (fun l -> !drop_hook l.lid) drop;
   List.length drop
 
 let listener_count node = List.length (node_listeners node)
@@ -134,4 +145,7 @@ let fire ?detail ?payload ~event_type ~target () =
   dispatch (make_event ?detail ?payload ~event_type ~target ())
 
 let invocation_count () = !invocations
-let reset () = Hashtbl.reset table
+
+let reset () =
+  Hashtbl.iter (fun _ ls -> List.iter (fun l -> !drop_hook l.lid) ls) table;
+  Hashtbl.reset table

@@ -32,7 +32,15 @@ val make_event :
 val stop_propagation : event -> unit
 val prevent_default : event -> unit
 
-type listener_id
+(** Concrete so engine layers can key per-registration state (reactive
+    memos) by it. *)
+type listener_id = int
+
+(** Invoked with every listener id dropped from the table — explicit
+    removal, same-name replacement in {!add_listener}, or {!reset} — so
+    state keyed by listener id elsewhere is discarded with the
+    registration instead of leaking. *)
+val drop_hook : (listener_id -> unit) ref
 
 (** [add_listener node ~event_type ~capture ~name f] registers [f].
     [name] identifies a named listener (an XQuery function QName) so

@@ -1,0 +1,193 @@
+(* Read/write footprints for incremental listener recomputation.
+
+   A *read footprint* is recorded while a listener query evaluates: the
+   tree roots it consulted, the subtree scopes it walked, and the
+   (local-name | id | attribute-key) index probes it made — each probe
+   scoped to the subtree it was confined to. A *write footprint* is one
+   record per DOM mutation: the mutated tree's root, the
+   ancestor-or-self id chain of the mutation point, and the names / id
+   values / attribute keys the mutation added, removed or changed.
+
+   Intersection is the dirtiness test: a read entry scoped at node S is
+   affected by a mutation whose point chain passes through S. Scoping
+   index probes the same way keeps one region's listener clean when a
+   sibling region mutates even though both probe the same local name.
+
+   This module deliberately knows nothing about [Dom.node] — it traffics
+   in node ids and strings only, so it sits below [Dom] in the library
+   and both [Dom] (capture) and the evaluator (recording) can call it. *)
+
+type read = {
+  roots : (int, unit) Hashtbl.t;  (* root ids of every tree consulted *)
+  scopes : (int, unit) Hashtbl.t;  (* subtree-walk origins (node ids) *)
+  names : (string * int, unit) Hashtbl.t;  (* (local name, scope) probes *)
+  ids : (string * int, unit) Hashtbl.t;  (* (id value, scope) probes *)
+  keys : (string * int, unit) Hashtbl.t;  (* ("local=value", scope) probes *)
+  mutable coarse : bool;
+      (* entry cap exceeded: degrade to whole-root granularity *)
+  mutable poisoned : bool;
+      (* run read state we cannot fingerprint (globals, external
+         functions, impure builtins) or performed effects; never skip *)
+  mutable entries : int;
+}
+
+let create () =
+  {
+    roots = Hashtbl.create 4;
+    scopes = Hashtbl.create 16;
+    names = Hashtbl.create 8;
+    ids = Hashtbl.create 8;
+    keys = Hashtbl.create 8;
+    coarse = false;
+    poisoned = false;
+    entries = 0;
+  }
+
+(* Past this many distinct entries a footprint stops paying for itself;
+   fall back to "anything under a consulted root dirties me". *)
+let max_entries = 4096
+
+let attr_key local v = local ^ "=" ^ v
+
+type wrec = {
+  wroot : int;  (* root id of the mutated tree, at notification time *)
+  chain : int list;  (* ancestor-or-self ids of the mutation point *)
+  mutable wnames : string list;
+  mutable wids : string list;
+  mutable wkeys : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Switch                                                              *)
+
+let incremental = ref true
+let set_incremental b = incremental := b
+let incremental_enabled () = !incremental
+
+(* ------------------------------------------------------------------ *)
+(* Tracked roots: refcounted set of root ids some registered footprint
+   has read. Mutations elsewhere (fresh constructor trees, detached
+   scratch nodes) skip capture entirely. *)
+
+let tracked : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let track_root rid =
+  Hashtbl.replace tracked rid
+    (1 + Option.value ~default:0 (Hashtbl.find_opt tracked rid))
+
+let untrack_root rid =
+  match Hashtbl.find_opt tracked rid with
+  | None -> ()
+  | Some n when n <= 1 -> Hashtbl.remove tracked rid
+  | Some n -> Hashtbl.replace tracked rid (n - 1)
+
+let capturing rid =
+  !incremental && Hashtbl.length tracked > 0 && Hashtbl.mem tracked rid
+
+(* ------------------------------------------------------------------ *)
+(* Recording (read side)                                               *)
+
+let current : read option ref = ref None
+let recording () = Option.is_some !current
+
+(* Begin recording into [fp], returning the previously active recorder
+   (listener runs can nest via re-dispatch). *)
+let start fp =
+  let prev = !current in
+  current := Some fp;
+  prev
+
+let restore prev = current := prev
+
+let overflow fp =
+  fp.coarse <- true;
+  Hashtbl.reset fp.scopes;
+  Hashtbl.reset fp.names;
+  Hashtbl.reset fp.ids;
+  Hashtbl.reset fp.keys
+
+let bump fp =
+  fp.entries <- fp.entries + 1;
+  if fp.entries > max_entries && not fp.coarse then overflow fp
+
+let add_entry tbl fp key =
+  if not fp.coarse && not (Hashtbl.mem tbl key) then begin
+    Hashtbl.replace tbl key ();
+    bump fp
+  end
+
+let with_fp f = match !current with None -> () | Some fp -> f fp
+
+let reading_root rid = with_fp (fun fp -> Hashtbl.replace fp.roots rid ())
+
+let reading_scope ~root ~node =
+  with_fp (fun fp ->
+      Hashtbl.replace fp.roots root ();
+      add_entry fp.scopes fp node)
+
+let reading_name ~root ~scope local =
+  with_fp (fun fp ->
+      Hashtbl.replace fp.roots root ();
+      add_entry fp.names fp (local, scope))
+
+let reading_id ~root ~scope v =
+  with_fp (fun fp ->
+      Hashtbl.replace fp.roots root ();
+      add_entry fp.ids fp (v, scope))
+
+let reading_key ~root ~scope ~local v =
+  with_fp (fun fp ->
+      Hashtbl.replace fp.roots root ();
+      add_entry fp.keys fp (attr_key local v, scope))
+
+let poison () = with_fp (fun fp -> fp.poisoned <- true)
+let is_poisoned fp = fp.poisoned
+
+(* ------------------------------------------------------------------ *)
+(* Write records and batching                                          *)
+
+let fresh_wrec ~root ~chain =
+  { wroot = root; chain; wnames = []; wids = []; wkeys = [] }
+
+let add_wname w l = w.wnames <- l :: w.wnames
+let add_wid w v = w.wids <- v :: w.wids
+let add_wkey w ~local v = w.wkeys <- attr_key local v :: w.wkeys
+
+(* Pending write records of the current mutation batch (a PUL apply
+   funnels all its primitives into one commit). Reverse order. *)
+let pending : wrec list ref = ref []
+
+(* Set by the reactive layer: receives each committed batch and marks
+   intersecting memos dirty. *)
+let on_commit : (wrec list -> unit) ref = ref (fun _ -> ())
+
+let record_write w = pending := w :: !pending
+
+let commit () =
+  match !pending with
+  | [] -> ()
+  | ws ->
+      pending := [];
+      !on_commit (List.rev ws)
+
+(* ------------------------------------------------------------------ *)
+(* Intersection                                                        *)
+
+let intersects_wrec fp w =
+  Hashtbl.mem fp.roots w.wroot
+  && (fp.coarse
+     || List.exists (fun c -> Hashtbl.mem fp.scopes c) w.chain
+     || List.exists
+          (fun l -> List.exists (fun c -> Hashtbl.mem fp.names (l, c)) w.chain)
+          w.wnames
+     || List.exists
+          (fun v -> List.exists (fun c -> Hashtbl.mem fp.ids (v, c)) w.chain)
+          w.wids
+     || List.exists
+          (fun k -> List.exists (fun c -> Hashtbl.mem fp.keys (k, c)) w.chain)
+          w.wkeys)
+
+let intersects fp ws = fp.poisoned || List.exists (intersects_wrec fp) ws
+
+let root_ids fp = Hashtbl.fold (fun rid () acc -> rid :: acc) fp.roots []
+let entry_count fp = fp.entries

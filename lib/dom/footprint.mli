@@ -1,0 +1,100 @@
+(** Read/write footprints for incremental listener recomputation.
+
+    The evaluator records, per listener run, a {e read footprint}: which
+    tree roots it consulted, which subtrees it walked, and which
+    local-name / id / attribute-value index keys it probed — each probe
+    scoped to the subtree it was confined to. The DOM mutators emit one
+    {e write record} per mutation (root, ancestor-or-self chain of the
+    mutation point, and the names / ids / attribute keys it touched),
+    batched per PUL apply. {!intersects} decides whether a mutation
+    batch can have changed anything a recorded run read.
+
+    The module is id/string-based only: it sits below [Dom] so both the
+    DOM (capture side) and the evaluator (recording side) can use it. *)
+
+type read
+
+val create : unit -> read
+
+(** A single mutation's write summary. *)
+type wrec
+
+(** {1 Switch} *)
+
+(** Global incremental-recomputation switch (the [--no-incremental]
+    ablation). Off: nothing records, nothing captures, listeners always
+    re-run. On by default. *)
+
+val set_incremental : bool -> unit
+val incremental_enabled : unit -> bool
+
+(** {1 Tracked roots}
+
+    Refcounted root ids appearing in some registered footprint.
+    Mutations under other roots (fresh constructor trees) skip write
+    capture entirely. *)
+
+val track_root : int -> unit
+val untrack_root : int -> unit
+
+(** Should a mutation under this root id be captured? *)
+val capturing : int -> bool
+
+(** {1 Recording (read side)}
+
+    One recorder is active at a time; [start] returns the previous one
+    so nested listener runs save/restore. All [reading_*] calls are
+    no-ops when no recorder is active. *)
+
+val recording : unit -> bool
+val start : read -> read option
+val restore : read option -> unit
+
+(** The run consulted this tree root (no finer information). *)
+val reading_root : int -> unit
+
+(** The run walked the subtree rooted at [node] (in tree [root]). *)
+val reading_scope : root:int -> node:int -> unit
+
+(** Local-name index probe confined to subtree [scope]. *)
+val reading_name : root:int -> scope:int -> string -> unit
+
+(** id lookup confined to subtree [scope]. *)
+val reading_id : root:int -> scope:int -> string -> unit
+
+(** (attribute local name, value) index probe confined to [scope]. *)
+val reading_key : root:int -> scope:int -> local:string -> string -> unit
+
+(** The run read state we cannot fingerprint (global variables,
+    external functions, impure builtins) or performed effects; its memo
+    must never be skipped. *)
+val poison : unit -> unit
+
+val is_poisoned : read -> bool
+
+(** {1 Write records}
+
+    Built by the DOM mutators; queued until {!commit}, which hands the
+    whole batch (one PUL apply, or a single direct mutation) to the
+    reactive layer's [on_commit]. *)
+
+val fresh_wrec : root:int -> chain:int list -> wrec
+val add_wname : wrec -> string -> unit
+val add_wid : wrec -> string -> unit
+val add_wkey : wrec -> local:string -> string -> unit
+val record_write : wrec -> unit
+val commit : unit -> unit
+val on_commit : (wrec list -> unit) ref
+
+(** {1 Intersection} *)
+
+(** [intersects fp batch]: could applying [batch] change anything the
+    run that recorded [fp] read? Poisoned footprints intersect
+    everything. *)
+val intersects : read -> wrec list -> bool
+
+(** Root ids the footprint consulted (for tracked-root refcounting). *)
+val root_ids : read -> int list
+
+(** Number of distinct recorded entries (diagnostics). *)
+val entry_count : read -> int

@@ -470,14 +470,19 @@ let rec emit (scope : scope) (c : C.t) : env -> I.sequence =
             | [ x ] ->
                 [ I.Atomic (Eval.protect (fun () -> A.cast ~target:ty x)) ]
             | _ -> type_err "constructor function requires a singleton"))
-  | C.C_builtin_call (_, impl, args) ->
+  | C.C_builtin_call (qn, impl, args) ->
       let fs = List.map (emit scope) args in
+      (* this dispatch bypasses Eval.call_function, so the recorded-run
+         impurity check must be replicated here; the test is hoisted to
+         emission time *)
+      let impure = Reactive.impure_builtin qn.Qname.local in
       fun env ->
         let vs = List.map (fun f -> f env) fs in
         if !Obs.Metrics.enabled then begin
           Obs.Metrics.incr "eval.calls";
           Obs.Metrics.incr "eval.calls.builtin"
         end;
+        if impure then Footprint.poison ();
         Eval.protect (fun () -> impl (call_ctx env.ctx) vs)
   | C.C_call (qn, args) ->
       let fs = List.map (emit scope) args in

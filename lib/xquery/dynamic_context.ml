@@ -2,7 +2,16 @@ open Xmlb
 
 type listener = {
   listener_name : Qname.t;
-  invoke : Xdm_item.sequence list -> unit;
+  invoke :
+    ?memo:Reactive.memo ->
+    ?key:string ->
+    (unit -> Xdm_item.sequence list) ->
+    unit;
+      (** Arguments are a thunk so a skipped dispatch never builds
+          them; [?key] is a host-computed fingerprint that determines
+          the thunk's result, letting the skip decision run before the
+          thunk is forced. Without [?key] the arguments are forced and
+          fingerprinted structurally. *)
 }
 
 type host = {
@@ -49,18 +58,48 @@ let event_to_xml (e : Dom_event.event) =
   | None -> ());
   el
 
+(* Fingerprint determining [event_to_xml e] (plus the $obj argument,
+   keyed by identity): everything the built tree's content depends on.
+   Computed without constructing any DOM node, so skipped dispatches
+   stay cheap. *)
+let event_key (e : Dom_event.event) =
+  let b = Buffer.create 32 in
+  Buffer.add_string b e.Dom_event.event_type;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ';';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b v)
+    e.Dom_event.detail;
+  (match e.Dom_event.payload with
+  | Some p ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (Dom.serialize p)
+  | None -> ());
+  Buffer.add_char b '#';
+  Buffer.add_string b (string_of_int (Dom.id e.Dom_event.target));
+  Buffer.contents b
+
 let default_host =
   {
     attach =
       (fun ~event_type ~targets ~listener ->
         List.iter
           (fun node ->
-            ignore
-              (Dom_event.add_listener node ~event_type
-                 ~name:(Qname.to_clark listener.listener_name) (fun e ->
-                   let evt_node = Xdm_item.Node (event_to_xml e) in
-                   let obj = Xdm_item.Node e.Dom_event.target in
-                   listener.invoke [ [ evt_node ]; [ obj ] ])))
+            (* one memo per registration: each (node, listener) pair
+               runs against its own target, so footprints and argument
+               fingerprints must not be shared across targets *)
+            let memo = Reactive.fresh_memo () in
+            let lid =
+              Dom_event.add_listener node ~event_type
+                ~name:(Qname.to_clark listener.listener_name) (fun e ->
+                  listener.invoke ~memo ~key:(event_key e) (fun () ->
+                      let evt_node = Xdm_item.Node (event_to_xml e) in
+                      let obj = Xdm_item.Node e.Dom_event.target in
+                      [ [ evt_node ]; [ obj ] ]))
+            in
+            Reactive.register lid memo)
           (target_nodes targets));
     attach_behind =
       (fun ~event_type ~computation ~listener ->
@@ -68,8 +107,8 @@ let default_host =
            and deliver the completion signal (readyState 4) *)
         ignore event_type;
         let result = computation () in
-        listener.invoke
-          [ [ Xdm_item.Atomic (Xdm_atomic.Integer 4) ]; result ]);
+        listener.invoke (fun () ->
+            [ [ Xdm_item.Atomic (Xdm_atomic.Integer 4) ]; result ]));
     detach =
       (fun ~event_type ~targets ~name ->
         List.iter
@@ -134,7 +173,12 @@ let lookup_ref t qn =
   | Some r -> r
   | None -> (
       match Hashtbl.find_opt t.globals (key qn) with
-      | Some r -> r
+      | Some r ->
+          (* global variables are shared mutable state outside the DOM
+             footprint (script statements assign them between listener
+             runs): a recorded run that reads one cannot be skipped *)
+          Footprint.poison ();
+          r
       | None ->
           Xq_error.raise_error Xq_error.undefined_variable
             "undefined variable $%s" (Qname.to_string qn))

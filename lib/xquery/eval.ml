@@ -145,6 +145,23 @@ let axis_metric = function
   | Ast.Ancestor -> "eval.axis.ancestor"
   | Ast.Ancestor_or_self -> "eval.axis.ancestor-or-self"
 
+(* Footprint recording for a non-indexed axis step: downward axes read
+   the origin's subtree; sibling/parent axes read the parent's subtree;
+   upward and lateral axes conservatively read the whole tree. (The
+   indexed fast paths record their probes inside [Dom] instead.) *)
+let record_axis_scope axis n =
+  let scope_of m =
+    Footprint.reading_scope ~root:(Dom.id (Dom.root m)) ~node:(Dom.id m)
+  in
+  match (axis : Ast.axis) with
+  | Ast.Child | Ast.Attribute_axis | Ast.Self | Ast.Descendant
+  | Ast.Descendant_or_self ->
+      scope_of n
+  | Ast.Parent | Ast.Following_sibling | Ast.Preceding_sibling -> (
+      match Dom.parent n with Some p -> scope_of p | None -> scope_of n)
+  | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Following | Ast.Preceding ->
+      scope_of (Dom.root n)
+
 (* Nodes selected by one axis step. descendant::name and
    descendant-or-self::name (what the optimizer rewrites //name into)
    resolve through the per-document local-name index instead of
@@ -176,7 +193,9 @@ let step_nodes axis (test : Ast.node_test) n =
              match Dom.name m with
              | Some nm -> Qname.equal nm qn
              | None -> false))
-  | _ -> List.filter (node_test_matches ~axis test) (axis_nodes axis n)
+  | _ ->
+      if Footprint.recording () then record_axis_scope axis n;
+      List.filter (node_test_matches ~axis test) (axis_nodes axis n)
 
 (* Value-index lookup: answer a leading [@k eq 'lit'] / [@k = 'lit'] /
    [k = 'lit'] predicate on a descendant step from the per-root value
@@ -201,7 +220,22 @@ let value_index_step axis test preds n =
     | _ -> false
   in
   if not applicable then None
-  else
+  else begin
+    (* The index answers by (name/attr, value) key — recorded inside
+       [Dom.value_lookup] — but a named step test additionally reads
+       the candidates' element names (a rename changes the result
+       without touching the probed key). *)
+    (if Footprint.recording () then
+       match (test : Ast.node_test) with
+       | Ast.Name_test qn ->
+           Footprint.reading_name
+             ~root:(Dom.id (Dom.root n))
+             ~scope:(Dom.id n) qn.Qname.local
+       | Ast.Local_wildcard local ->
+           Footprint.reading_name
+             ~root:(Dom.id (Dom.root n))
+             ~scope:(Dom.id n) local
+       | _ -> ());
     let candidate el =
       node_test_matches ~axis test el
       && (match axis with Ast.Descendant -> not (Dom.equal el n) | _ -> true)
@@ -281,6 +315,7 @@ let value_index_step axis test preds n =
             shape rhs lit true
         | _ -> None)
     | [] -> None
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Streaming: lazy axis producers and static shape analyses            *)
@@ -771,6 +806,7 @@ let rec eval (ctx : D.t) (e : Ast.expr) : I.sequence =
   | Ast.E_block stmts -> eval_block ctx ~script:true stmts
   (* ---- browser extensions ---- *)
   | Ast.E_event_attach { event; binding; target; listener } -> (
+      Footprint.poison ();
       let event_type = I.sequence_string (eval ctx event) in
       let l = make_listener ctx listener in
       match binding with
@@ -783,16 +819,19 @@ let rec eval (ctx : D.t) (e : Ast.expr) : I.sequence =
           ctx.D.host.D.attach_behind ~event_type ~computation ~listener:l;
           [])
   | Ast.E_event_detach { event; target; listener } ->
+      Footprint.poison ();
       let event_type = I.sequence_string (eval ctx event) in
       let targets = eval ctx target in
       ctx.D.host.D.detach ~event_type ~targets ~name:listener;
       []
   | Ast.E_event_trigger { event; target } ->
+      Footprint.poison ();
       let event_type = I.sequence_string (eval ctx event) in
       let targets = eval ctx target in
       ctx.D.host.D.trigger ~event_type ~targets;
       []
   | Ast.E_set_style { property; target; value } ->
+      Footprint.poison ();
       let prop = I.sequence_string (eval ctx property) in
       let v = I.sequence_string (eval ctx value) in
       List.iter
@@ -802,6 +841,8 @@ let rec eval (ctx : D.t) (e : Ast.expr) : I.sequence =
         (eval ctx target);
       []
   | Ast.E_get_style { property; target } -> (
+      (* the style side table is not footprint-tracked: unrecordable read *)
+      Footprint.poison ();
       let prop = I.sequence_string (eval ctx property) in
       match eval ctx target with
       | I.Node n :: _ -> (
@@ -1401,6 +1442,7 @@ and step_stream_scan ctx axis test preds n =
           Obs.Metrics.incr "eval.steps";
           Obs.Metrics.incr (axis_metric axis)
         end;
+        if Footprint.recording () then record_axis_scope axis n;
         Seq.filter (node_test_matches ~axis test) (axis_seq axis n)
   in
   let cur = Xdm_seq.of_node_seq ~sorted:(forward_ordered axis) nodes in
@@ -1518,11 +1560,16 @@ and call_function ctx qn args =
           match Static_context.find_external ctx.D.static qn ~arity with
           | Some f ->
               count "eval.calls.external";
+              (* external functions reach host state the footprint
+                 cannot see *)
+              Footprint.poison ();
               f (build_call_ctx ctx) args
           | None -> (
               match Functions.find qn ~arity with
               | Some f ->
                   count "eval.calls.builtin";
+                  if Reactive.impure_builtin qn.Qname.local then
+                    Footprint.poison ();
                   guard (fun () -> f (build_call_ctx ctx) args)
               | None ->
                   err Xq_error.unknown_function
@@ -1584,26 +1631,80 @@ and call_user_function_ast ctx (decl : Ast.function_decl) args =
   | None -> result
 
 and make_listener ctx qn =
-  let invoke args =
+  let invoke ?memo ?key mk_args =
     let arity_for n = Static_context.find_function ctx.D.static qn ~arity:n in
     (* pad/truncate the provided arguments to a declared arity *)
-    let args =
-      let rec fit n =
+    let fit args =
+      let rec go n =
         if n < 0 then args
         else if arity_for n <> None then begin
           let provided = List.length args in
           if provided >= n then List.filteri (fun i _ -> i < n) args
           else args @ List.init (n - provided) (fun _ -> [])
         end
-        else fit (n - 1)
+        else go (n - 1)
       in
-      fit 4
+      go 4
     in
-    match protect (fun () -> call_function ctx qn args) with
-    | _ -> Pul.apply ctx.D.pul
-    | exception Xq_error.Error e ->
-        Pul.clear ctx.D.pul;
-        ctx.D.host.D.listener_error (Xq_error.to_string e)
-    | exception Exit_with _ -> Pul.apply ctx.D.pul
+    let run_plain args =
+      match protect (fun () -> call_function ctx qn args) with
+      | _ -> Pul.apply ctx.D.pul
+      | exception Xq_error.Error e ->
+          Pul.clear ctx.D.pul;
+          ctx.D.host.D.listener_error (Xq_error.to_string e)
+      | exception Exit_with _ -> Pul.apply ctx.D.pul
+    in
+    (* Re-run the listener with footprint recording; everything it
+       reads lands in [fp], and impurity (PUL effects, external calls,
+       impure builtins, global reads) poisons it. [Pul.apply] must run
+       while recording is still active so its effects poison the run. *)
+    let run_recorded m akey args =
+      Reactive.count_rerun ();
+      let fp = Footprint.create () in
+      let prev = Footprint.start fp in
+      let closed = ref false in
+      let finish ~ok result =
+        closed := true;
+        Footprint.restore prev;
+        Reactive.finish_run m ~ok ~args_key:akey ~fp ~result
+      in
+      Fun.protect
+        ~finally:(fun () -> if not !closed then finish ~ok:false [])
+        (fun () ->
+          match
+            protect (fun () ->
+                Reactive.record_args args;
+                call_function ctx qn args)
+          with
+          | result ->
+              Pul.apply ctx.D.pul;
+              finish ~ok:true result
+          | exception Xq_error.Error e ->
+              Pul.clear ctx.D.pul;
+              finish ~ok:false [];
+              ctx.D.host.D.listener_error (Xq_error.to_string e)
+          | exception Exit_with v ->
+              Pul.apply ctx.D.pul;
+              finish ~ok:true v)
+    in
+    match memo with
+    | None -> run_plain (fit (mk_args ()))
+    | Some m -> (
+        (* the host's precomputed key lets a Skip happen before the
+           argument thunk is even forced; without one, force the
+           arguments and fingerprint them structurally *)
+        let akey, args =
+          match key with
+          | Some k -> (k, lazy (fit (mk_args ())))
+          | None ->
+              let a = fit (mk_args ()) in
+              (Reactive.args_key a, lazy a)
+        in
+        match Reactive.decide m ~args_key:akey with
+        | Reactive.Skip -> Reactive.count_skip ()
+        | Reactive.Run_plain ->
+            Reactive.count_rerun ();
+            run_plain (Lazy.force args)
+        | Reactive.Run_recorded -> run_recorded m akey (Lazy.force args))
   in
   { D.listener_name = qn; invoke }

@@ -187,6 +187,17 @@ let () =
       match arg 0 args with
       | [] -> []
       | [ I.Node n ] -> (
+          (* scoped name read, same rationale as fn:name below *)
+          (if Footprint.recording () then
+             match (Dom.kind n, Dom.name n) with
+             | Dom.Element, Some q ->
+                 Footprint.reading_name ~root:(Dom.id (Dom.root n))
+                   ~scope:(Dom.id n) q.Qname.local
+             | Dom.Attribute, Some q ->
+                 Footprint.reading_key ~root:(Dom.id (Dom.root n))
+                   ~scope:(Dom.id n) ~local:q.Qname.local
+                   (Option.value ~default:"" (Dom.value n))
+             | _ -> ());
           match Dom.name n with
           | Some qn -> [ I.Atomic (A.Qname_v qn) ]
           | None -> [])
@@ -623,6 +634,22 @@ let () =
   extremum "min" (fun c -> c < 0);
 
   (* ---------- nodes ---------- *)
+  (* A name read is invisible to the navigation-step recording (renaming
+     a node changes fn:name without touching any probed index key), so
+     record it here, scoped to the node itself: rename notifies on the
+     renamed node, whose write chain therefore contains this scope. *)
+  let record_name_read n =
+    if Footprint.recording () then begin
+      let root = Dom.id (Dom.root n) in
+      match (Dom.kind n, Dom.name n) with
+      | Dom.Element, Some q ->
+          Footprint.reading_name ~root ~scope:(Dom.id n) q.Qname.local
+      | Dom.Attribute, Some q ->
+          Footprint.reading_key ~root ~scope:(Dom.id n) ~local:q.Qname.local
+            (Option.value ~default:"" (Dom.value n))
+      | _ -> ()
+    end
+  in
   let name_fn local extract =
     fn ~local ~min_arity:0 ~max_arity:1 (fun cctx args ->
         match
@@ -631,7 +658,9 @@ let () =
           | _ -> node_arg_or_context cctx args
         with
         | None -> str1 ""
-        | Some n -> str1 (extract n))
+        | Some n ->
+            record_name_read n;
+            str1 (extract n))
   in
   name_fn "name" (fun n ->
       match Dom.name n with Some q -> Qname.to_string q | None -> "");

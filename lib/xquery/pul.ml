@@ -55,21 +55,20 @@ let check_conflicts prims =
      (e) upd:delete;  (f) upd:put.
    Order within a phase is implementation-dependent; we use PUL order.
 
-   Deliberate deviation: our Replace_value covers both upd:replaceValue
-   (attributes/text, spec phase a) and upd:replaceElementContent
-   (elements, spec phase d) with one primitive. We apply it in the
-   earliest phase and run upd:insertInto with the positional inserts in
-   phase 1 instead of phase 0, so content inserted into an element is
-   never silently wiped by a same-PUL content replacement — under a
-   literal phase (d) reading, `insert node <a/> into $d` followed by
-   `replace value of node $d` would discard the <a/>. *)
+   Our Replace_value primitive covers both upd:replaceValue
+   (attributes, text, comments, PIs — phase a) and
+   upd:replaceElementContent (elements, and documents as their
+   analogue — phase d), so its rank splits on the target's kind. A
+   consequence required by the spec: `insert node <a/> into $d,
+   replace value of node $d with "x"` discards the inserted <a/>,
+   because replaceElementContent applies after insertInto. *)
 let rank = function
-  | Insert_attributes _ | Replace_value _ | Rename _ -> 0
-  | Insert_into _ | Insert_first _ | Insert_last _ | Insert_before _
-  | Insert_after _ ->
-      1
+  | Insert_into _ | Insert_attributes _ | Rename _ -> 0
+  | Replace_value (n, _) -> (
+      match Dom.kind n with Dom.Element | Dom.Document -> 3 | _ -> 0)
+  | Insert_first _ | Insert_last _ | Insert_before _ | Insert_after _ -> 1
   | Replace_node _ -> 2
-  | Delete _ -> 3
+  | Delete _ -> 4
 
 let apply_one = function
   | Insert_into (target, nodes) | Insert_last (target, nodes) ->
@@ -99,7 +98,10 @@ let prim_metric = function
   | Replace_value _ -> "pul.prim.replace-value"
   | Rename _ -> "pul.prim.rename"
 
-let phase_metric = [| "pul.phase.0"; "pul.phase.1"; "pul.phase.2"; "pul.phase.3" |]
+let phase_metric =
+  [|
+    "pul.phase.0"; "pul.phase.1"; "pul.phase.2"; "pul.phase.3"; "pul.phase.4";
+  |]
 
 let apply t =
   let prims = List.rev t.items in
@@ -109,6 +111,9 @@ let apply t =
      updates. Only a successful check consumes the list. *)
   check_conflicts prims;
   t.items <- [];
+  (* A non-empty apply during a recorded listener run is an effect: the
+     run is impure and its memo must never be skipped. *)
+  if prims <> [] && Footprint.recording () then Footprint.poison ();
   let apply_phases () =
     List.iter
       (fun phase ->
@@ -118,8 +123,11 @@ let apply t =
           List.iter (fun p -> Obs.Metrics.incr (prim_metric p)) in_phase
         end;
         List.iter apply_one in_phase)
-      [ 0; 1; 2; 3 ]
+      [ 0; 1; 2; 3; 4 ]
   in
+  (* One observer/footprint changeset per apply: observers see the
+     fully-applied post-transaction state, in mutation order. *)
+  let apply_phases () = Dom.with_batch apply_phases in
   if !Obs.Trace.enabled then
     Obs.Trace.with_span
       ~attrs:[ ("primitives", string_of_int (List.length prims)) ]

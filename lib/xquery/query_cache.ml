@@ -16,12 +16,14 @@ type 'a t = {
   mutable evictions : int;
   mutable invalidations : int;
   mutable cost_saved : int;
+  autonomous : bool;
+  mutable on_drop : string -> 'a -> unit;
 }
 
 let enabled = ref true
 let set_enabled b = enabled := b
 
-let create ?(name = "cache") ?(capacity = 256) () =
+let create ?(name = "cache") ?(capacity = 256) ?(autonomous = false) () =
   {
     cache_name = name;
     cap = max 1 capacity;
@@ -33,7 +35,16 @@ let create ?(name = "cache") ?(capacity = 256) () =
     evictions = 0;
     invalidations = 0;
     cost_saved = 0;
+    autonomous;
+    on_drop = (fun _ _ -> ());
   }
+
+let set_on_drop t f = t.on_drop <- f
+let live t = t.autonomous || !enabled
+
+let drop t key e =
+  Hashtbl.remove t.table key;
+  t.on_drop key e.value
 
 let name t = t.cache_name
 let capacity t = t.cap
@@ -61,7 +72,9 @@ let evict_lru t =
   in
   match victim with
   | Some (k, _) ->
-      Hashtbl.remove t.table k;
+      (match Hashtbl.find_opt t.table k with
+      | Some e -> drop t k e
+      | None -> ());
       t.evictions <- t.evictions + 1;
       count t "eviction"
   | None -> ()
@@ -71,7 +84,7 @@ let miss t =
   count t "miss"
 
 let find t key =
-  if not !enabled then None
+  if not (live t) then None
   else
     match Hashtbl.find_opt t.table key with
     | Some e when e.gen = t.gen ->
@@ -83,9 +96,9 @@ let find t key =
         end;
         touch t e;
         Some e.value
-    | Some _ ->
+    | Some e ->
         (* stale generation: behaves like a miss and frees the slot *)
-        Hashtbl.remove t.table key;
+        drop t key e;
         miss t;
         None
     | None ->
@@ -93,17 +106,22 @@ let find t key =
         None
 
 let add t key ~cost value =
-  if !enabled then begin
-    if not (Hashtbl.mem t.table key) then
-      while Hashtbl.length t.table >= t.cap do
-        evict_lru t
-      done;
+  if live t then begin
+    (match Hashtbl.find_opt t.table key with
+    | Some old -> drop t key old
+    | None ->
+        while Hashtbl.length t.table >= t.cap do
+          evict_lru t
+        done);
     let e = { value; cost = max 0 cost; gen = t.gen; stamp = 0 } in
     touch t e;
     Hashtbl.replace t.table key e
   end
 
-let remove t key = Hashtbl.remove t.table key
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> drop t key e
+  | None -> ()
 
 let invalidate t =
   t.gen <- t.gen + 1;
@@ -116,7 +134,16 @@ let set_capacity t n =
     evict_lru t
   done
 
-let clear t = Hashtbl.reset t.table
+let clear t =
+  let entries = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.table [] in
+  Hashtbl.reset t.table;
+  List.iter (fun (k, e) -> t.on_drop k e.value) entries
+
+(* Live (current-generation) entries, in no particular order. *)
+let iter f (t : 'a t) =
+  Hashtbl.iter
+    (fun k (e : 'a entry) -> if e.gen = t.gen then f k e.value)
+    t.table
 
 type stats = {
   hits : int;

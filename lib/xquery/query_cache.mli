@@ -32,8 +32,20 @@ val set_enabled : bool -> unit
 
 (** [create ?name ?capacity ()] — [name] prefixes the obs counters
     (default ["cache"]), [capacity] is the maximum entry count
-    (default 256, minimum 1). *)
-val create : ?name:string -> ?capacity:int -> unit -> 'a t
+    (default 256, minimum 1). An [autonomous] cache ignores the global
+    {!enabled} kill switch — used by clients (the reactive listener
+    memo table) whose correctness bookkeeping must survive
+    [--no-query-cache]. *)
+val create : ?name:string -> ?capacity:int -> ?autonomous:bool -> unit -> 'a t
+
+(** Called with every entry leaving the cache — eviction, {!remove},
+    {!clear}, replacement by {!add}, or a stale-generation drop during
+    {!find} — so per-entry registrations elsewhere (footprint
+    tracked-root refcounts) are released with the entry. *)
+val set_on_drop : 'a t -> (string -> 'a -> unit) -> unit
+
+(** Iterate over live (current-generation) entries. *)
+val iter : (string -> 'a -> unit) -> 'a t -> unit
 
 val name : 'a t -> string
 val capacity : 'a t -> int

@@ -15,6 +15,7 @@ let () =
       ("streaming", Test_streaming.suite);
       ("joins", Test_joins.suite);
       ("query-cache", Test_query_cache.suite);
+      ("reactive", Test_reactive.suite);
       ("compile", Test_compile.suite);
       ("net", Test_net.suite);
       ("faults", Test_faults.suite);

@@ -143,10 +143,12 @@ let snapshot_tests =
     t "conflicting replace node raises XUDY0017" (fun () ->
         expect_error "XUDY0017"
           "let $d := <r><a/></r> return (replace node $d/a with <x/>, replace node $d/a with <y/>)");
-    t "replace-value applies before inserts (XQUF ordering)" (fun () ->
-        (* replace value of the element wipes children, then the insert adds *)
+    t "replaceElementContent applies after inserts (XQUF §3.2.2)" (fun () ->
+        (* the insert lands first (phase a), then replace value of the
+           element — upd:replaceElementContent, phase d — wipes all
+           content including the freshly inserted node *)
         check Alcotest.string "ordering"
-          "<r>base<a/></r>"
+          "<r>base</r>"
           (run_str
              "let $d := <r><junk/></r> return (insert node <a/> into $d, replace value of node $d with 'base', $d)"));
     t "updating function used by query" (fun () ->
