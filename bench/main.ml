@@ -17,6 +17,7 @@
 
 module B = Xqib.Browser
 module AS = Appserver.App_server
+module Fleet = Appserver.Fleet
 open Bench_util
 
 let () = Minijs.Js_interp.install ()
@@ -1597,6 +1598,117 @@ let bench_t14 ?(check = false) () =
     print_endline "T14 check: equivalent, speedup bar met, skips proven, A/A ok"
   end
 
+(* ------------------------------------------------------------------ *)
+(* T15 — fleet-scale virtual-time simulation: N concurrent sessions
+   against one app server with a priced request queue. The
+   server-rendered workload pays one evaluation per visit and queues up
+   as the fleet grows; the migrated (F2) workload only fetches cheap
+   static artifacts, so its tail latency stays flat. All numbers are
+   virtual-time and deterministic per seed. *)
+
+let bench_t15 ?(check = false) () =
+  section "T15"
+    "fleet simulation: server-rendered vs migrated tail latency under load";
+  let sizes = if smoke_enabled () then [ 8; 24 ] else [ 100; 400; 1600 ] in
+  let seed = 11 in
+  (* fixed arrival window: the offered load grows linearly with the
+     fleet while the server's capacity (1/service_cost pages per
+     virtual second) stays put, so larger fleets overload it *)
+  let cell ?shed_depth ?(rate = 0.) ?(spread = 1.) ~sessions ~migrated ~seed () =
+    Scenarios.run_fleet ~visits:3 ~think:1. ~service_cost:0.05 ~spread ?shed_depth
+      ~rate ~sessions ~migrated ~seed ()
+  in
+  Printf.printf
+    "(3 visits/session over a 1 s arrival window, page cost 0.05 virtual s,\n\
+    \ static cost 0.005; latencies in virtual seconds; seed %d)\n"
+    seed;
+  Printf.printf "%-6s %-9s | %6s %6s | %8s %8s %8s | %6s %8s\n" "fleet" "mode"
+    "pgOK" "evals" "p50" "p99" "p999" "depth" "pages/s";
+  let entries = ref [] in
+  let largest = List.fold_left max 0 sizes in
+  let at_largest = ref None in
+  List.iter
+    (fun sessions ->
+      let server = cell ~sessions ~migrated:false ~seed () in
+      let migrated = cell ~sessions ~migrated:true ~seed () in
+      if sessions = largest then at_largest := Some (server, migrated);
+      List.iter
+        (fun (mode, r, speedup) ->
+          Printf.printf "%-6d %-9s | %6d %6d | %8.3f %8.3f %8.3f | %6d %8.1f\n"
+            sessions mode r.Fleet.pages_ok r.Fleet.server_evals r.Fleet.p50
+            r.Fleet.p99 r.Fleet.p999 r.Fleet.max_queue_depth
+            r.Fleet.pages_per_sec;
+          (* ns_per_op carries the p99 (in ns) so the JSON schema stays
+             the same as every other bench file *)
+          entries :=
+            json_entry ?speedup
+              ~name:(Printf.sprintf "fleet%d/%s" sessions mode)
+              ~n:sessions
+              (r.Fleet.p99 *. 1e9)
+            :: !entries)
+        [
+          ("server", server, None);
+          ("migrated", migrated, Some (server.Fleet.p99 /. migrated.Fleet.p99));
+        ])
+    sizes;
+  print_endline
+    "\nshape check: the server-rendered p99 climbs with the fleet size while\n\
+     the migrated workload's stays near its raw fetch cost.";
+  write_json ~file:"BENCH_T15.json" (List.rev !entries);
+  if check then begin
+    (* gate (a): determinism — the same seed reproduces the whole
+       report (latency percentiles, shed counts, per-session totals)
+       bit for bit, across two different seeds *)
+    List.iter
+      (fun seed ->
+        let go () =
+          cell ~sessions:(List.hd sizes) ~rate:0.2 ~shed_depth:6
+            ~migrated:false ~seed ()
+        in
+        if go () <> go () then begin
+          Printf.eprintf "T15 FAIL: same-seed fleets diverge (seed %d)\n" seed;
+          exit 1
+        end)
+      [ seed; seed + 12 ];
+    (* gate (b): admission control — under a burst arrival the server
+       sheds rather than queue, and the backlog never exceeds the
+       configured threshold *)
+    let depth = 4 in
+    let shed =
+      cell ~sessions:largest ~spread:0.05 ~shed_depth:depth ~migrated:false
+        ~seed ()
+    in
+    if shed.Fleet.sheds = 0 then begin
+      Printf.eprintf "T15 FAIL: burst at depth %d shed no load\n" depth;
+      exit 1
+    end;
+    if shed.Fleet.max_queue_depth > depth then begin
+      Printf.eprintf "T15 FAIL: queue depth %d exceeds shed threshold %d\n"
+        shed.Fleet.max_queue_depth depth;
+      exit 1
+    end;
+    (* gate (c): the paper's offload claim at fleet scale — migrating
+       the page work into the browsers strictly beats rendering on the
+       server at the largest fleet's p99 *)
+    let server, migrated = Option.get !at_largest in
+    if not (migrated.Fleet.p99 < server.Fleet.p99) then begin
+      Printf.eprintf
+        "T15 FAIL: migrated p99 %.3fs not below server-rendered %.3fs at \
+         fleet %d\n"
+        migrated.Fleet.p99 server.Fleet.p99 largest;
+      exit 1
+    end;
+    if migrated.Fleet.server_evals <> 0 then begin
+      Printf.eprintf "T15 FAIL: migrated fleet still evaluated %d pages \
+                      server-side\n"
+        migrated.Fleet.server_evals;
+      exit 1
+    end;
+    print_endline
+      "T15 check: deterministic, shedding bounds the queue, migration \
+       flattens the p99"
+  end
+
 let () =
   let only = ref [] in
   let check = ref false in
@@ -1644,4 +1756,5 @@ let () =
   run "t12" (bench_t12 ~check:!check);
   run "t13" (bench_t13 ~check:!check);
   run "t14" (bench_t14 ~check:!check);
+  run "t15" (bench_t15 ~check:!check);
   print_endline "\ndone."

@@ -379,6 +379,129 @@ let migrate_cmd =
        ~doc:"Migrate a server-side XQuery page to a client page (paper §6.1)")
     Term.(const run $ file $ doc_base)
 
+(* ---- fleet ---- *)
+
+let fleet_cmd =
+  let sessions =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "fleet" ] ~docv:"N"
+          ~doc:
+            "Number of concurrent simulated browser sessions. Each gets \
+             its own window tree, cookie jar and retry PRNG; all share one \
+             virtual clock and one app server.")
+  in
+  let tenants =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "tenants" ] ~docv:"K"
+          ~doc:
+            "Partition the fleet over K tenants: sessions prefix their \
+             requests with /t<k>/ and the server compiles each tenant's \
+             pages into its own query-cache partition.")
+  in
+  let shed_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shed-depth" ] ~docv:"D"
+          ~doc:
+            "Admission-control threshold: when the server's request \
+             backlog reaches D the request is shed with a 503 and a \
+             Retry-After hint (consumed by the clients' retry policies). \
+             Unset means never shed.")
+  in
+  let visits =
+    Arg.(
+      value & opt int 3
+      & info [ "visits" ] ~docv:"V" ~doc:"Page visits per session, separated by think time.")
+  in
+  let migrated =
+    Arg.(
+      value & flag
+      & info [ "migrated" ]
+          ~doc:
+            "Visit the migrated (client-side) page instead of the \
+             server-rendered one: the server only hands out static \
+             artifacts and documents, the browsers do the evaluation.")
+  in
+  let service_cost =
+    Arg.(
+      value
+      & opt float 0.02
+      & info [ "service-cost" ] ~docv:"S"
+          ~doc:
+            "Virtual seconds of server time per page evaluation (static \
+             artifacts cost a tenth of this); requests queue FIFO behind \
+             a single server.")
+  in
+  let spread =
+    Arg.(
+      value & opt float 10.
+      & info [ "spread" ] ~docv:"S" ~doc:"Arrival window: sessions start uniformly over [0, S) virtual seconds.")
+  in
+  let think =
+    Arg.(
+      value & opt float 5.
+      & info [ "think" ] ~docv:"S" ~doc:"Mean think time between a session's visits, in virtual seconds.")
+  in
+  let fault_rate =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Inject network faults (drops + 5xx) with this probability per request, in [0,1).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Fleet seed: arrivals, think times, per-session retry jitter and faults all derive from it; the same seed replays the same run.")
+  in
+  let max_tasks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-tasks" ] ~docv:"N"
+          ~doc:
+            "Virtual-clock task budget. Defaults to a budget scaled to \
+             the fleet size; exhausting it is an error, never a silent \
+             truncation.")
+  in
+  let run sessions tenants shed_depth visits migrated service_cost spread think
+      fault_rate seed max_tasks metrics =
+    if sessions < 1 then begin
+      Printf.eprintf "error: --fleet must be >= 1, got %d\n" sessions;
+      exit 2
+    end;
+    if fault_rate < 0. || fault_rate >= 1. then begin
+      Printf.eprintf "error: --fault-rate must be in [0, 1), got %g\n" fault_rate;
+      exit 2
+    end;
+    if metrics then Obs.Metrics.set_enabled true;
+    handle (fun () ->
+        Minijs.Js_interp.install ();
+        let r =
+          Scenarios.run_fleet ~sessions ~tenants ?shed_depth ~visits ~migrated
+            ~service_cost ~spread ~think ~rate:fault_rate ?max_tasks ~seed ()
+        in
+        Format.printf "%a@." Appserver.Fleet.pp_report r;
+        if metrics then begin
+          prerr_endline "== metrics ==";
+          print_endline (Obs.Metrics.to_json ())
+        end)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Simulate a fleet of browser sessions against one app server in \
+          virtual time (deterministic per seed)")
+    Term.(
+      const run $ sessions $ tenants $ shed_depth $ visits $ migrated
+      $ service_cost $ spread $ think $ fault_rate $ seed $ max_tasks
+      $ metrics_arg)
+
 (* ---- parse ---- *)
 
 let parse_cmd =
@@ -450,4 +573,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ eval_cmd; run_cmd; page_cmd; migrate_cmd; parse_cmd; repl_cmd ]))
+       (Cmd.group info
+          [ eval_cmd; run_cmd; page_cmd; migrate_cmd; fleet_cmd; parse_cmd; repl_cmd ]))

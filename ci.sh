@@ -31,6 +31,11 @@
 # ratio drops below the bar, or if an A/A full-footprint workload
 # (where every mutation touches every listener, so nothing can be
 # skipped) regresses by more than 20%.
+# The T15 line gates the fleet simulator: it fails if two fleets run
+# from the same seed diverge in any report field, if a burst arrival
+# against a shed threshold sheds nothing or lets the queue depth exceed
+# the threshold, or if the migrated workload's p99 is not strictly
+# below the server-rendered p99 at the largest fleet.
 set -eu
 cd "$(dirname "$0")"
 dune build @all
@@ -42,3 +47,4 @@ dune exec bench/main.exe -- --smoke --only t11 --check > /dev/null
 dune exec bench/main.exe -- --smoke --only t12 --check > /dev/null
 dune exec bench/main.exe -- --smoke --only t13 --check > /dev/null
 dune exec bench/main.exe -- --smoke --only t14 --check > /dev/null
+dune exec bench/main.exe -- --smoke --only t15 --check > /dev/null

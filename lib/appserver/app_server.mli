@@ -30,6 +30,64 @@ val add_module : t -> path:string -> string -> unit
     of the offload experiment, Fig. 2). *)
 val evaluations : t -> int
 
+(** {1 Request queue / admission control}
+
+    For the fleet experiments (T15) the server models a single-core
+    queueing station in virtual time: every admitted request joins a
+    FIFO backlog and pays [wait + service] virtual seconds, charged
+    into its {!Http_sim} latency, so concurrent sessions observe the
+    load they create. When an admission threshold is configured and
+    the backlog is at it, new requests are shed with a 503 carrying a
+    [Retry-After] hint (when a slot frees), which client {!Retry}
+    policies honour. *)
+
+(** [set_queue ?service_cost ?static_cost ?shed_depth t] configures the
+    queue. [service_cost] (virtual seconds, default 0) is charged per
+    XQuery page evaluation; [static_cost] per static page / document
+    request (default [service_cost /. 10]); [shed_depth] (>= 1) is the
+    backlog depth at which requests are shed (default: never). With
+    all costs 0 — the initial state — the queue is inert and the
+    server behaves exactly as before. *)
+val set_queue :
+  ?service_cost:float -> ?static_cost:float -> ?shed_depth:int -> t -> unit
+
+(** Requests shed (503) by admission control so far. *)
+val sheds : t -> int
+
+(** High-water mark of the backlog depth (admitted requests). *)
+val max_queue_depth : t -> int
+
+(** Requests admitted through the queue (only counted while a cost is
+    configured). *)
+val served_requests : t -> int
+
+(** Per-request server latencies (wait + service, virtual seconds) of
+    every admitted request, in arrival order — the exact distribution
+    behind the T15 p50/p99/p999 numbers (the {!Obs} histograms get the
+    same observations but with coarse power-of-ten buckets). *)
+val latencies : t -> float array
+
+(** {1 Tenancy}
+
+    Requests may address a tenant with a [/t<k>/] path prefix
+    ([/t3/reference] is tenant 3's view of [/reference]); unprefixed
+    paths are tenant 0. Each tenant k >= 1 gets its own compiled-page
+    cache partition, so one tenant's cold start or churn never evicts
+    another's compiled artifacts; tenant 0 uses the shared
+    eagerly-compiled page. *)
+
+(** Set the number of tenants (>= 1, default 1; with 1 tenant no
+    prefix is recognised and routing is unchanged). *)
+val set_tenants : t -> int -> unit
+
+val tenants : t -> int
+
+(** Lazy compiles performed into per-tenant partitions (tenants >= 1). *)
+val tenant_compiles : t -> int
+
+(** Stats of one tenant's compiled-page partition. *)
+val tenant_cache_stats : t -> tenant:int -> Xquery.Query_cache.stats
+
 (** The base URI a stored document is served under. *)
 val doc_uri : t -> name:string -> string
 

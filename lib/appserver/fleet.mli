@@ -1,0 +1,76 @@
+(** Fleet-scale session simulation over virtual time (ROADMAP item 1).
+
+    Drives N concurrent simulated browser sessions — each with its own
+    window tree, local store, cookie jar, think-time PRNG and retry
+    state — against a shared {!App_server}, interleaved on the single
+    {!Virtual_clock} task queue. Combined with the server's request
+    queue ({!App_server.set_queue}) and {!Http_sim} fault injection,
+    one process deterministically models thousands of sessions and
+    measures the server-side latency distribution under load — the
+    instrument behind T15's server-rendered vs migrated (F2)
+    comparison. *)
+
+type config = {
+  sessions : int;  (** concurrent sessions *)
+  tenants : int;  (** sessions are assigned round-robin to tenants *)
+  visits : int;  (** page visits per session *)
+  page_path : string;  (** path browsed each visit (tenant prefix added) *)
+  seed : int;  (** master seed: arrival stagger + per-session seeds *)
+  spread : float;  (** session start times spread over [0, spread) s *)
+  think_time : float;
+      (** mean think time between visits; each gap is uniform in
+          [0.5x, 1.5x] from the session's own PRNG *)
+  retry : Retry.policy;  (** per-session page-load resilience *)
+  max_tasks : int option;
+      (** clock budget; [None] scales with [sessions * visits] so big
+          fleets never trip the default 100k guard *)
+  capture_docs : bool;
+      (** serialize each session's final document into the report
+          (used by the N=1 differential test; off for big fleets) *)
+}
+
+(** 100 sessions x 3 visits, 1 tenant, seed 1, 10 s spread, 5 s think,
+    4 retry attempts. *)
+val default_config : config
+
+type report = {
+  sessions : int;
+  tenants : int;
+  visits : int;  (** config echo *)
+  pages_ok : int;  (** visits whose page load completed *)
+  pages_shed : int;  (** visits that ended in a 503 (shed, retries out) *)
+  pages_lost : int;  (** visits lost to other network failures *)
+  server_evals : int;  (** server-side XQuery evaluations (delta) *)
+  server_requests : int;  (** requests reaching the server host (delta) *)
+  sheds : int;  (** 503s issued by admission control *)
+  max_queue_depth : int;
+  served_requests : int;  (** requests admitted through the queue *)
+  tenant_compiles : int;  (** lazy compiles into tenant partitions *)
+  attempts : int;  (** page-load attempts across the fleet *)
+  retries : int;  (** attempts beyond the first *)
+  client_cache_hits : int;
+      (** compiled-query-cache hits observed from inside sessions (the
+          per-session view of the shared client cache) *)
+  p50 : float;
+  p99 : float;
+  p999 : float;  (** server request latency percentiles, virtual s *)
+  mean_latency : float;
+  elapsed : float;  (** total virtual seconds *)
+  pages_per_sec : float;  (** pages_ok / elapsed *)
+  session_docs : string list;  (** only when [capture_docs] *)
+}
+
+(** The deterministic seed of session [i] under a fleet seed — the
+    session's browser is [B.create ~seed:(session_seed ~seed i) ...],
+    exposed so the differential test can rebuild session 0 exactly. *)
+val session_seed : seed:int -> int -> int
+
+(** Nearest-rank percentile of an ascending-sorted array. *)
+val percentile : float array -> float -> float
+
+(** Run the fleet to completion (the virtual clock drains) and report.
+    Sets the server's tenant count from the config. Deterministic for
+    a given config: equal seeds give byte-identical reports. *)
+val run : ?config:config -> App_server.t -> report
+
+val pp_report : Format.formatter -> report -> unit

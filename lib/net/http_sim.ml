@@ -2,7 +2,12 @@ type meth = Get | Post
 
 type request = { meth : meth; uri : string; path : string; body : string option }
 
-type response = { status : int; body : string; content_type : string }
+type response = {
+  status : int;
+  body : string;
+  content_type : string;
+  retry_after : float option;
+}
 
 type latency_model = { base : float; per_kb : float }
 
@@ -39,6 +44,9 @@ type t = {
   host_faults : (string, fault_state) Hashtbl.t;
   fault_counts : (fault_kind, int) Hashtbl.t;
   outcomes : (string * bool, int) Hashtbl.t;  (** (host, ok?) -> count *)
+  mutable pending_cost : float;
+      (** virtual seconds charged by the handler of the in-flight
+          request (queueing/service time); folded into its latency *)
 }
 
 let create ?(latency = default_latency) clock =
@@ -52,15 +60,22 @@ let create ?(latency = default_latency) clock =
     host_faults = Hashtbl.create 4;
     fault_counts = Hashtbl.create 4;
     outcomes = Hashtbl.create 8;
+    pending_cost = 0.;
   }
+
+let charge_latency t s = if s > 0. then t.pending_cost <- t.pending_cost +. s
 
 let clock t = t.clock
 
 let register_host t ~host handler = Hashtbl.replace t.handlers host handler
 let find_host t ~host = Hashtbl.find_opt t.handlers host
 
-let ok ?(content_type = "application/xml") body = { status = 200; body; content_type }
-let not_found path = { status = 404; body = "not found: " ^ path; content_type = "text/plain" }
+let ok ?(content_type = "application/xml") body =
+  { status = 200; body; content_type; retry_after = None }
+
+let not_found path =
+  { status = 404; body = "not found: " ^ path; content_type = "text/plain";
+    retry_after = None }
 
 let split_uri uri =
   let strip prefix s =
@@ -135,11 +150,11 @@ let draw state p = p > 0. && Prng.float state.prng < p
 
 let dropped_response =
   { status = 0; body = "network error: connection dropped (injected fault)";
-    content_type = "text/plain" }
+    content_type = "text/plain"; retry_after = None }
 
 let unavailable_response =
   { status = 503; body = "service unavailable (injected fault)";
-    content_type = "text/plain" }
+    content_type = "text/plain"; retry_after = None }
 
 (* keep the first half and break the markup: downstream XML parsing is
    guaranteed to fail, like a truncated transfer *)
@@ -151,7 +166,9 @@ let corrupt_response resp =
    a fixed order, so the schedule replays exactly for a given seed *)
 let serve_faulted t ~meth ~body uri =
   match split_uri uri with
-  | None -> ({ status = 400; body = "bad uri: " ^ uri; content_type = "text/plain" }, 0.)
+  | None ->
+      ({ status = 400; body = "bad uri: " ^ uri; content_type = "text/plain";
+         retry_after = None }, 0.)
   | Some (host, path) ->
       bump t.counts host 1;
       let fs = fault_for t host in
@@ -162,24 +179,34 @@ let serve_faulted t ~meth ~body uri =
             s.spec.extra_delay_s
         | _ -> 0.
       in
-      let resp =
+      let resp, extra =
         match fs with
         | Some s when draw s s.spec.drop ->
             bump_fault t Drop;
-            dropped_response
+            (dropped_response, extra)
         | Some s when draw s s.spec.http_5xx ->
             bump_fault t Http_5xx;
-            unavailable_response
+            (unavailable_response, extra)
         | _ -> (
             match Hashtbl.find_opt t.handlers host with
-            | None -> { status = 502; body = "unknown host: " ^ host; content_type = "text/plain" }
+            | None ->
+                ({ status = 502; body = "unknown host: " ^ host;
+                   content_type = "text/plain"; retry_after = None }, extra)
             | Some handler -> (
+                (* the handler may charge server-side queueing/service
+                   time via [charge_latency]; save/restore so a nested
+                   serve from inside a handler stays correctly scoped *)
+                let saved = t.pending_cost in
+                t.pending_cost <- 0.;
                 let resp = handler { meth; uri; path; body } in
+                let cost = t.pending_cost in
+                t.pending_cost <- saved;
+                let extra = extra +. cost in
                 match fs with
                 | Some s when resp.status = 200 && draw s s.spec.corrupt_body ->
                     bump_fault t Corrupt_body;
-                    corrupt_response resp
-                | _ -> resp))
+                    (corrupt_response resp, extra)
+                | _ -> (resp, extra)))
       in
       bump t.bytes host (String.length resp.body);
       bump t.outcomes (host, resp.status = 200) 1;

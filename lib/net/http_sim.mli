@@ -9,7 +9,15 @@ type meth = Get | Post
 
 type request = { meth : meth; uri : string; path : string; body : string option }
 
-type response = { status : int; body : string; content_type : string }
+type response = {
+  status : int;
+  body : string;
+  content_type : string;
+  retry_after : float option;
+      (** a [Retry-After] hint in virtual seconds, set by overloaded
+          servers on 503 responses; {!Retry} honours it as a lower
+          bound on the backoff before the next attempt *)
+}
 
 type latency_model = {
   base : float;  (** per-request virtual seconds *)
@@ -77,6 +85,12 @@ val clear_faults : t -> unit
     advancing the clock — the hook {!Retry} uses to model per-attempt
     timeouts (the caller decides how much of the latency it waits). *)
 val serve : t -> ?meth:meth -> ?body:string -> string -> response * float
+
+(** Add [s] virtual seconds of server-side work (queueing + service
+    time) to the latency of the request currently being handled. Only
+    meaningful from inside a host handler; {!App_server}'s request
+    queue uses it so clients pay for server load. *)
+val charge_latency : t -> float -> unit
 
 (** Synchronous fetch: advances the virtual clock by the round-trip
     latency (models a blocking XMLHttpRequest). *)

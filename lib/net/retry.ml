@@ -42,7 +42,7 @@ let timeout_status = 408
 
 let timeout_response =
   { Http_sim.status = timeout_status; body = "attempt timed out (virtual deadline)";
-    content_type = "text/plain" }
+    content_type = "text/plain"; retry_after = None }
 
 let retryable resp =
   resp.Http_sim.status = 0 || resp.Http_sim.status >= 500
@@ -109,6 +109,15 @@ let fetch_check ?(policy = default) ?prng ?stats ~check http ?meth ?body uri =
           record (fun s -> s.retries <- s.retries + 1);
           metric "retry.retries";
           let wait = Float.max 0. (jittered (backoff policy ~attempt:k)) in
+          (* an overloaded server's Retry-After hint is a lower bound:
+             coming back earlier would only be shed again *)
+          let wait =
+            match resp.Http_sim.retry_after with
+            | Some ra when ra > wait ->
+                metric "retry.retry-after-honored";
+                ra
+            | _ -> wait
+          in
           if !Obs.Metrics.enabled then Obs.Metrics.observe "retry.backoff_s" wait;
           Virtual_clock.sleep clock wait;
           attempt (k + 1)

@@ -4,6 +4,12 @@ type t = {
   mutable time : float;
   mutable queue : task list;  (** sorted by (fire_at, seq) *)
   mutable next_seq : int;
+  mutable lag : float;
+      (** how late the currently-running task fired: time - fire_at.
+          Sequentialising concurrent sessions runs some tasks after
+          other sessions' blocking work advanced the clock; [now - lag]
+          recovers the time the task was meant to start (the fleet
+          server uses it as the request arrival time) *)
   epoch : float;  (** epoch seconds of virtual time 0 *)
 }
 
@@ -13,9 +19,10 @@ let default_epoch =
     (Xdm_datetime.make ~year:2008 ~month:6 ~day:9 ~hour:12 ~tz_minutes:0 ())
 
 let create ?(start = 0.) () =
-  { time = start; queue = []; next_seq = 0; epoch = default_epoch }
+  { time = start; queue = []; next_seq = 0; lag = 0.; epoch = default_epoch }
 
 let now t = t.time
+let current_lag t = t.lag
 let sleep t d = if d > 0. then t.time <- t.time +. d
 
 let schedule t ~delay run =
@@ -36,7 +43,9 @@ let pending t = List.length t.queue
 
 let run_next t =
   match t.queue with
-  | [] -> false
+  | [] ->
+      t.lag <- 0.;
+      false
   | task :: rest ->
       t.queue <- rest;
       if !Obs.Metrics.enabled then begin
@@ -44,13 +53,31 @@ let run_next t =
         Obs.Metrics.observe "clock.task-lag_s" (Float.max 0. (task.fire_at -. t.time))
       end;
       t.time <- Float.max t.time task.fire_at;
+      t.lag <- t.time -. task.fire_at;
       task.run ();
       true
 
+exception Budget_exhausted of { budget : int; pending : int }
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exhausted { budget; pending } ->
+        Some
+          (Printf.sprintf
+             "Virtual_clock.Budget_exhausted: ran %d tasks, %d still pending"
+             budget pending)
+    | _ -> None)
+
 let run_until_idle ?(max_tasks = 100_000) t =
   let rec go n =
-    if n >= max_tasks then
-      failwith "Virtual_clock.run_until_idle: task budget exhausted"
+    if n >= max_tasks then begin
+      let pending = List.length t.queue in
+      if !Obs.Metrics.enabled then Obs.Metrics.incr "clock.budget-exhausted";
+      Logs.err (fun m ->
+          m "Virtual_clock.run_until_idle: task budget %d exhausted (%d tasks pending)"
+            max_tasks pending);
+      raise (Budget_exhausted { budget = max_tasks; pending })
+    end
     else if run_next t then go (n + 1)
   in
   go 0

@@ -12,6 +12,15 @@ val create : ?start:float -> unit -> t
 (** Current virtual time in seconds. *)
 val now : t -> float
 
+(** How late the currently-running task fired ([now - fire_at] at the
+    moment it started, 0 outside tasks). Running concurrent sessions
+    sequentially means one session's blocking work advances the clock
+    past another's scheduled start; [now t -. current_lag t] recovers
+    the session-local time — {!App_server}'s request queue uses it as
+    the arrival time, so a fleet's requests queue up as if they really
+    were concurrent. Reset to 0 when the queue drains. *)
+val current_lag : t -> float
+
 (** Advance time directly (models synchronous blocking work). *)
 val sleep : t -> float -> unit
 
@@ -25,8 +34,17 @@ val pending : t -> int
     false if the queue is empty. *)
 val run_next : t -> bool
 
+(** Raised by {!run_until_idle} when its task budget runs out with
+    work still queued: [budget] tasks ran, [pending] remain. Large
+    simulations (the fleet scheduler) pass an explicit budget scaled
+    to their size; truncation is never silent — the exception is
+    raised after bumping the [clock.budget-exhausted] counter and
+    logging at error level. *)
+exception Budget_exhausted of { budget : int; pending : int }
+
 (** Run tasks until the queue is empty. [max_tasks] (default 100_000)
-    guards against runaway self-scheduling loops. *)
+    guards against runaway self-scheduling loops; on overflow raises
+    {!Budget_exhausted}. *)
 val run_until_idle : ?max_tasks:int -> t -> unit
 
 (** Epoch offset: virtual time 0 corresponds to this dateTime; used to

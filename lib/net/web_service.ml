@@ -122,6 +122,7 @@ let publish ?host http ~source =
                   Http_sim.status = 500;
                   body = Xquery.Xq_error.to_string e;
                   content_type = "text/plain";
+                  retry_after = None;
                 })
           | None -> Http_sim.not_found "/call (missing body)")
       | p -> Http_sim.not_found p);

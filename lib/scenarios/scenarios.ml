@@ -298,6 +298,43 @@ let run_elsevier_flaky ?journals ?volumes ?issues ?articles ?(visits = 20) ~rate
   }
 
 (* ------------------------------------------------------------------ *)
+(* §6.1 at fleet scale (bench T15)                                      *)
+
+let run_fleet ?(journals = 1) ?(volumes = 1) ?(issues = 1) ?(articles = 3)
+    ?(visits = 3) ?(tenants = 1) ?(spread = 10.) ?(think = 5.) ?(rate = 0.)
+    ?(service_cost = 0.02) ?static_cost ?shed_depth ?retry ?max_tasks
+    ?(capture_docs = false) ~sessions ~migrated ~seed () =
+  let clock = Virtual_clock.create () in
+  let http = Http_sim.create clock in
+  let e = make_elsevier ~journals ~volumes ~issues ~articles http in
+  let host = Appserver.App_server.host e.server in
+  Appserver.App_server.set_queue ~service_cost ?static_cost ?shed_depth e.server;
+  if rate > 0. then
+    Http_sim.set_faults http ~host ~seed (Http_sim.uniform_faults ~rate);
+  let config =
+    {
+      Appserver.Fleet.default_config with
+      Appserver.Fleet.sessions;
+      tenants;
+      visits;
+      seed;
+      spread;
+      think_time = think;
+      capture_docs;
+      page_path = (if migrated then e.client_page_path else e.browse_page_path);
+    }
+  in
+  let config =
+    match retry with Some r -> { config with Appserver.Fleet.retry = r } | None -> config
+  in
+  let config =
+    match max_tasks with
+    | Some _ -> { config with Appserver.Fleet.max_tasks }
+    | None -> config
+  in
+  Appserver.Fleet.run ~config e.server
+
+(* ------------------------------------------------------------------ *)
 (* §6.2 maps/weather mash-up                                            *)
 
 let setup_mashup http =

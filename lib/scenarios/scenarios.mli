@@ -91,6 +91,41 @@ val run_elsevier_flaky :
   unit ->
   flaky_report
 
+(** {1 §6.1 at fleet scale (bench T15)}
+
+    The Reference 2.0 workload driven by a {!Appserver.Fleet} of
+    [sessions] concurrent browsers on one virtual clock, against a
+    fresh Elsevier server whose request queue is configured with
+    [service_cost] per server-side XQuery evaluation ([static_cost]
+    per static/document request, default [service_cost /. 10]) and an
+    optional [shed_depth] admission threshold. With [migrated] the
+    fleet browses the migrated client page (server work = cheap static
+    + document serving, evaluation happens client-side — F2); without
+    it each visit evaluates the XQuery page on the server. [rate] > 0
+    degrades the network with {!Http_sim.uniform_faults}. Deterministic
+    for a given (seed, config): equal seeds give identical reports. *)
+val run_fleet :
+  ?journals:int ->
+  ?volumes:int ->
+  ?issues:int ->
+  ?articles:int ->
+  ?visits:int ->
+  ?tenants:int ->
+  ?spread:float ->
+  ?think:float ->
+  ?rate:float ->
+  ?service_cost:float ->
+  ?static_cost:float ->
+  ?shed_depth:int ->
+  ?retry:Retry.policy ->
+  ?max_tasks:int ->
+  ?capture_docs:bool ->
+  sessions:int ->
+  migrated:bool ->
+  seed:int ->
+  unit ->
+  Appserver.Fleet.report
+
 (** {1 §6.2 maps/weather mash-up} *)
 
 (** Register the simulated map, weather and webcam services; returns

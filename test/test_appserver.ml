@@ -145,6 +145,111 @@ let xquery_server_tests =
           "module namespace m = 'urn:m'; declare function m:one() { 1 };";
         let r = Http_sim.fetch http "http://pub/lib.xq" in
         check Alcotest.string "content type" "application/xquery" r.Http_sim.content_type);
+    t "doc-available resolves the same URIs fn:doc loads" (fun () ->
+        (* regression: the doc-available hook used to check the raw URI
+           against the store, so full /docs/ URIs that fn:doc loaded
+           fine reported as unavailable *)
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let srv = AS.create http ~host:"pub" in
+        Doc_store.put_xml (AS.store srv) ~name:"d.xml" "<d/>";
+        AS.add_xquery_page srv ~path:"/p"
+          ("<r>{doc-available('" ^ AS.doc_uri srv ~name:"d.xml"
+          ^ "')}-{doc-available('d.xml')}-{doc-available('"
+          ^ AS.doc_uri srv ~name:"missing.xml" ^ "')}</r>");
+        check Alcotest.string "full uri, bare name, missing"
+          "<r>true-true-false</r>" (AS.render_page srv ~path:"/p"));
+    t "a /docsearch page is not captured by the /docs route" (fun () ->
+        (* regression: the docs dispatch matched the bare "/docs" prefix,
+           so any page whose path merely started with it was a 404 *)
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let srv = AS.create http ~host:"pub" in
+        Doc_store.put_xml (AS.store srv) ~name:"d.xml" "<d/>";
+        AS.add_static_page srv ~path:"/docsearch" "<form>search</form>";
+        let r = Http_sim.fetch http "http://pub/docsearch" in
+        check Alcotest.int "page reachable" 200 r.Http_sim.status;
+        check Alcotest.string "page body" "<form>search</form>" r.Http_sim.body;
+        check Alcotest.string "store still served" "<d/>"
+          (Http_sim.fetch http "http://pub/docs/d.xml").Http_sim.body);
+  ]
+
+let queue_tests =
+  [
+    t "service cost becomes queueing latency" (fun () ->
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let srv = AS.create http ~host:"pub" in
+        AS.add_xquery_page srv ~path:"/p" "<x/>";
+        AS.set_queue ~service_cost:1.0 srv;
+        (* serve without advancing the clock: three back-to-back
+           arrivals queue behind one another *)
+        for _ = 1 to 3 do ignore (Http_sim.serve http "http://pub/p") done;
+        check (Alcotest.array (Alcotest.float 1e-9)) "waits stack up"
+          [| 1.; 2.; 3. |] (AS.latencies srv);
+        check Alcotest.int "depth high-water" 3 (AS.max_queue_depth srv);
+        check Alcotest.int "all admitted" 3 (AS.served_requests srv);
+        check Alcotest.int "no sheds" 0 (AS.sheds srv);
+        (* the third response's latency carries its 3 s of server time *)
+        let _, lat = Http_sim.serve http "http://pub/p" in
+        check Alcotest.bool "latency includes queue time" true (lat > 4.));
+    t "zero-cost queue is inert" (fun () ->
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let srv = AS.create http ~host:"pub" in
+        AS.add_xquery_page srv ~path:"/p" "<x/>";
+        for _ = 1 to 5 do ignore (Http_sim.fetch http "http://pub/p") done;
+        check Alcotest.int "nothing recorded" 0 (AS.served_requests srv);
+        check Alcotest.int "no depth" 0 (AS.max_queue_depth srv));
+    t "admission control sheds with a Retry-After hint" (fun () ->
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let srv = AS.create http ~host:"pub" in
+        AS.add_xquery_page srv ~path:"/p" "<x/>";
+        AS.set_queue ~service_cost:1.0 ~shed_depth:2 srv;
+        let responses = List.init 4 (fun _ -> fst (Http_sim.serve http "http://pub/p")) in
+        let statuses = List.map (fun r -> r.Http_sim.status) responses in
+        check (Alcotest.list Alcotest.int) "two in, two shed" [ 200; 200; 503; 503 ]
+          statuses;
+        check Alcotest.int "sheds counted" 2 (AS.sheds srv);
+        check Alcotest.bool "depth bounded at threshold" true
+          (AS.max_queue_depth srv <= 2);
+        (match List.nth responses 2 with
+        | { Http_sim.retry_after = Some ra; _ } ->
+            check (Alcotest.float 1e-9) "hint: when a slot frees" 1. ra
+        | _ -> Alcotest.fail "shed response carries Retry-After"));
+    t "retry policies honour Retry-After" (fun () ->
+        let clock = Virtual_clock.create () in
+        let http = Http_sim.create clock in
+        let calls = ref 0 in
+        Http_sim.register_host http ~host:"h" (fun _ ->
+            incr calls;
+            if !calls = 1 then
+              { Http_sim.status = 503; body = "overloaded";
+                content_type = "text/plain"; retry_after = Some 7. }
+            else Http_sim.ok "<x/>");
+        let policy = { Retry.default with Retry.max_attempts = 3; jitter = 0. } in
+        let r = Retry.fetch ~policy http "http://h/x" in
+        check Alcotest.int "eventually 200" 200 r.Http_sim.status;
+        (* the 0.1 s backoff was raised to the server's 7 s hint *)
+        check Alcotest.bool "waited out the hint" true (Virtual_clock.now clock >= 7.));
+    t "tenants get their own compiled-page partitions" (fun () ->
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let srv = AS.create http ~host:"pub" in
+        AS.add_xquery_page srv ~path:"/p" "<x>{1+1}</x>";
+        AS.set_tenants srv 3;
+        let fetch path = (Http_sim.fetch http ("http://pub" ^ path)).Http_sim.body in
+        check Alcotest.string "tenant 1" "<x>2</x>" (fetch "/t1/p");
+        check Alcotest.string "tenant 2" "<x>2</x>" (fetch "/t2/p");
+        check Alcotest.string "tenant 1 again" "<x>2</x>" (fetch "/t1/p");
+        check Alcotest.string "tenant 0 unprefixed" "<x>2</x>" (fetch "/p");
+        check Alcotest.int "one lazy compile per non-zero tenant" 2
+          (AS.tenant_compiles srv);
+        check Alcotest.int "tenant 1 partition hit on revisit" 1
+          (AS.tenant_cache_stats srv ~tenant:1).Xquery.Query_cache.hits;
+        check Alcotest.int "four evaluations" 4 (AS.evaluations srv));
+    t "an out-of-range tenant prefix is a plain path" (fun () ->
+        let http = Http_sim.create (Virtual_clock.create ()) in
+        let srv = AS.create http ~host:"pub" in
+        AS.add_xquery_page srv ~path:"/p" "<x/>";
+        AS.set_tenants srv 2;
+        check Alcotest.int "404, not tenant routing" 404
+          (Http_sim.fetch http "http://pub/t9/p").Http_sim.status);
   ]
 
 let server_page =
@@ -231,4 +336,5 @@ let migration_tests =
         | _ -> Alcotest.fail "expected error");
   ]
 
-let suite = sql_tests @ jsp_tests @ xquery_server_tests @ migration_tests
+let suite =
+  sql_tests @ jsp_tests @ xquery_server_tests @ queue_tests @ migration_tests

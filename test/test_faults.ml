@@ -106,7 +106,9 @@ let retry_tests =
         let calls = ref 0 in
         Http_sim.register_host http ~host:"h" (fun _ ->
             incr calls;
-            if !calls <= 2 then { Http_sim.status = 503; body = "busy"; content_type = "text/plain" }
+            if !calls <= 2 then
+              { Http_sim.status = 503; body = "busy"; content_type = "text/plain";
+                retry_after = None }
             else Http_sim.ok "<x/>");
         let stats = Retry.make_stats () in
         let policy = { Retry.default with Retry.max_attempts = 10 } in
@@ -271,7 +273,8 @@ let behind_tests =
         Http_sim.register_host b.B.http ~host:"svc" (fun _ ->
             incr calls;
             if !calls = 1 then
-              { Http_sim.status = 503; body = "busy"; content_type = "text/plain" }
+              { Http_sim.status = 503; body = "busy"; content_type = "text/plain";
+                retry_after = None }
             else Http_sim.ok "<hint/>");
         Xqib.Page.load b behind_error_page;
         B.run b;

@@ -24,6 +24,7 @@ let () =
       ("renderer", Test_renderer.suite);
       ("minijs", Test_minijs.suite);
       ("appserver", Test_appserver.suite);
+      ("fleet", Test_fleet.suite);
       ("integration", Test_integration.suite);
       ("usecases", Test_usecases.suite);
       ("paper-examples", Test_paper_examples.suite);
