@@ -1709,6 +1709,262 @@ let bench_t15 ?(check = false) () =
        flattens the p99"
   end
 
+(* ------------------------------------------------------------------ *)
+(* T16 — global name interning: symbol fast paths vs string compares.
+
+   The intern table and the symbol keying of every index are always
+   on (interning is a bijection, so both modes agree on every key);
+   the ablation gates only the comparison fast paths — Qname
+   equality and the evaluator's choice of symbol- vs string-keyed
+   probe entry points. Element names share a long common prefix so
+   the ablated String.equal pays for most of the length before it
+   can decide; the interned compare is two ints regardless. *)
+
+let with_interning enabled f =
+  Dom.set_interned_fastpaths enabled;
+  Fun.protect ~finally:(fun () -> Dom.set_interned_fastpaths true) f
+
+let t16_prefix = String.make 96 'x'
+let t16_name tag = t16_prefix ^ "-" ^ tag
+
+(* The name-scan workloads use names sharing a long common prefix: the
+   ablated comparison walks the prefix on every candidate — matching
+   or not — while the interned one compares two ints. The parse and
+   dispatch workloads keep the moderate 96-char names above. *)
+let t16_scan_prefix = String.make 1024 'y'
+let t16_scan_name tag = t16_scan_prefix ^ "-" ^ tag
+
+let t16_xml ?(name = t16_name) n =
+  let buf = Buffer.create (n * 220) in
+  Buffer.add_string buf (Printf.sprintf "<%s>" (name "root"));
+  for i = 1 to n do
+    let tag = name (if i mod 2 = 0 then "even" else "odd") in
+    Buffer.add_string buf
+      (Printf.sprintf "<%s k=\"%d\">%d</%s>" tag (i mod 16) i tag)
+  done;
+  Buffer.add_string buf (Printf.sprintf "</%s>" (name "root"));
+  Buffer.contents buf
+
+(* [regions] widgets plus one <spare> sibling no listener attaches to
+   or reads: mutating it is the always-miss dispatch workload, where
+   the per-listener cost is exactly the footprint intersection. *)
+let t16_page ~regions ~vals_per =
+  let buf = Buffer.create (regions * vals_per * 140) in
+  Buffer.add_string buf {|<html><head><script type="text/xquery">|};
+  Buffer.add_string buf
+    (Printf.sprintf
+       "declare function local:w($evt, $obj) { count($obj//%s) + \
+        count($obj//%s) * 2 };"
+       (t16_name "va") (t16_name "vb"));
+  Buffer.add_string buf
+    {| on event "tick" at //div attach listener local:w</script></head><body><spare>0</spare>|};
+  for r = 0 to regions - 1 do
+    Buffer.add_string buf (Printf.sprintf {|<div id="r%d">|} r);
+    for j = 1 to vals_per do
+      let tag = t16_name (if j mod 2 = 0 then "va" else "vb") in
+      Buffer.add_string buf (Printf.sprintf "<%s>%d</%s>" tag (j mod 4) tag)
+    done;
+    Buffer.add_string buf "</div>"
+  done;
+  Buffer.add_string buf "</body></html>";
+  Buffer.contents buf
+
+let bench_t16 ?(check = false) () =
+  section "T16" "name interning: symbol fast paths vs string comparison";
+  let entries = ref [] in
+  (* --- parse: both modes intern (the table is not ablatable), so the
+     columns document an A/A tie; the sym counters prove each distinct
+     name was interned exactly once *)
+  let n_parse = if smoke_enabled () then 1000 else 10000 in
+  let xml = t16_xml n_parse in
+  let size0 = Xmlb.Sym.size () in
+  ignore (Sys.opaque_identity (Dom.of_string xml));
+  let size1 = Xmlb.Sym.size () in
+  ignore (Sys.opaque_identity (Dom.of_string xml));
+  let size2 = Xmlb.Sym.size () in
+  let parse_on =
+    with_interning true (fun () ->
+        ns_per_run (fun () -> ignore (Sys.opaque_identity (Dom.of_string xml))))
+  in
+  let parse_off =
+    with_interning false (fun () ->
+        ns_per_run (fun () -> ignore (Sys.opaque_identity (Dom.of_string xml))))
+  in
+  Printf.printf "%-8d %-18s %14s %14s %9s\n" n_parse "workload" "interned"
+    "ablated" "speedup";
+  Printf.printf "%-8s %-18s %14s %14s %8.1fx\n" "" "parse-dom"
+    (pretty_ns parse_on) (pretty_ns parse_off) (parse_off /. parse_on);
+  Printf.printf
+    "sym table: %d distinct names after parse (+%d), re-parse added %d\n"
+    size1 (size1 - size0) (size2 - size1);
+  entries :=
+    json_entry ~name:"parse-dom/ablated" ~n:n_parse parse_off
+    :: json_entry ~name:"parse-dom" ~n:n_parse parse_on
+    :: !entries;
+  (* --- name-test scans: child axis tests every sibling, descendant
+     axis refines a local-name index bucket — both pay one Qname
+     comparison per candidate, and the shared 1 KiB prefix makes the
+     ablated comparison walk the whole name every time *)
+  let n_scan = if smoke_enabled () then 2000 else 20000 in
+  let ctx = Xdm_item.Node (Dom.of_string (t16_xml ~name:t16_scan_name n_scan)) in
+  let scan_queries =
+    [
+      ( "child-name-scan",
+        Printf.sprintf "count(/%s/%s)" (t16_scan_name "root")
+          (t16_scan_name "even") );
+      ("desc-name-scan", Printf.sprintf "count(//%s)" (t16_scan_name "even"));
+    ]
+  in
+  let measure_scan (name, src) =
+    let q =
+      Xquery.Engine.compile ~static:(Xquery.Engine.default_static ()) src
+    in
+    let run_q () =
+      ignore (Sys.opaque_identity (Xquery.Engine.run ~context_item:ctx q))
+    in
+    let show () =
+      Xdm_item.to_display_string (Xquery.Engine.run ~context_item:ctx q)
+    in
+    (* correctness first: the ablation switch is the test oracle *)
+    let r_on = with_interning true show in
+    let r_off = with_interning false show in
+    if not (String.equal r_on r_off) then begin
+      Printf.eprintf "T16 FAIL: interned result differs on %s (%s vs %s)\n"
+        name r_on r_off;
+      exit 1
+    end;
+    let fast = with_interning true (fun () -> ns_per_run run_q) in
+    let slow = with_interning false (fun () -> ns_per_run run_q) in
+    let speedup = slow /. fast in
+    Printf.printf "%-8s %-18s %14s %14s %8.1fx\n" "" name (pretty_ns fast)
+      (pretty_ns slow) speedup;
+    entries :=
+      json_entry ~name:(name ^ "/ablated") ~n:n_scan slow
+      :: json_entry ~name ~n:n_scan ~speedup fast
+      :: !entries;
+    (name, speedup)
+  in
+  let scan_speedups = List.map measure_scan scan_queries in
+  (* --- listener dispatch: rerun-all re-runs name-heavy bodies under
+     each mode; always-miss isolates the footprint intersection, which
+     is symbol-keyed int hashing in BOTH modes and must tie *)
+  let regions = if smoke_enabled () then 20 else 60 in
+  let vals_per = if smoke_enabled () then 10 else 50 in
+  let setup () =
+    let b = browser_with ~page:(t16_page ~regions ~vals_per) () in
+    let doc = B.document b in
+    let divs =
+      Array.init regions (fun r ->
+          Option.get (Dom.get_element_by_id doc (Printf.sprintf "r%d" r)))
+    in
+    let firsts =
+      Array.map
+        (fun d -> List.hd (Dom.get_elements_by_local_name d (t16_name "vb")))
+        divs
+    in
+    let spare = List.hd (Dom.get_elements_by_local_name doc "spare") in
+    (b, divs, firsts, spare)
+  in
+  let dispatch_cost ~miss enabled =
+    with_interning enabled (fun () ->
+        let b, divs, firsts, spare = setup () in
+        let c = ref 0 in
+        let ev () =
+          incr c;
+          Dom.with_batch (fun () ->
+              if miss then Dom.set_value spare (string_of_int (!c mod 4))
+              else
+                Array.iter
+                  (fun v -> Dom.set_value v (string_of_int (!c mod 4)))
+                  firsts);
+          Array.iter (fun d -> B.dispatch b ~target:d "tick") divs
+        in
+        ev ();
+        (* warm every memo *)
+        ns_per_run ev)
+  in
+  let rerun_on = dispatch_cost ~miss:false true in
+  let rerun_off = dispatch_cost ~miss:false false in
+  Printf.printf "%-8d %-18s %14s %14s %8.1fx\n" (regions * vals_per)
+    "dispatch-rerun" (pretty_ns rerun_on) (pretty_ns rerun_off)
+    (rerun_off /. rerun_on);
+  entries :=
+    json_entry ~name:"dispatch-rerun/ablated" ~n:(regions * vals_per) rerun_off
+    :: json_entry
+         ~name:"dispatch-rerun" ~n:(regions * vals_per)
+         ~speedup:(rerun_off /. rerun_on) rerun_on
+    :: !entries;
+  let miss_on = dispatch_cost ~miss:true true in
+  let miss_off = dispatch_cost ~miss:true false in
+  Printf.printf "%-8d %-18s %14s %14s %8.1fx\n" (regions * vals_per)
+    "dispatch-miss" (pretty_ns miss_on) (pretty_ns miss_off)
+    (miss_off /. miss_on);
+  entries :=
+    json_entry ~name:"dispatch-miss/ablated" ~n:(regions * vals_per) miss_off
+    :: json_entry
+         ~name:"dispatch-miss" ~n:(regions * vals_per)
+         ~speedup:(miss_off /. miss_on) miss_on
+    :: !entries;
+  let stats = Xmlb.Sym.stats () in
+  let stat k = try List.assoc k stats with Not_found -> 0 in
+  Printf.printf "\nsym counters: size=%d bytes=%d hits=%d misses=%d\n"
+    (stat "size") (stat "bytes") (stat "hits") (stat "misses");
+  entries :=
+    json_entry ~name:"sym/bytes" ~n:(stat "size") (float_of_int (stat "bytes"))
+    :: json_entry ~name:"sym/size" ~n:(stat "size")
+         (float_of_int (stat "size"))
+    :: !entries;
+  write_json ~file:"BENCH_T16.json" (List.rev !entries);
+  if check then begin
+    (* gate (a): the parser memoizes per-document and the table dedups
+       globally — re-parsing the same document must intern nothing *)
+    if size2 <> size1 then begin
+      Printf.eprintf "T16 FAIL: re-parse grew the intern table by %d\n"
+        (size2 - size1);
+      exit 1
+    end;
+    (* gate (b): a name-test scan clears the speedup bar (retried: the
+       per-candidate win is tens of ns, so smoke quotas are noisy) *)
+    let bar = 1.3 in
+    let best l = List.fold_left (fun a (_, s) -> Float.max a s) 0. l in
+    let rec scan_gate tries speedups =
+      if best speedups >= bar then ()
+      else if tries >= 3 then begin
+        Printf.eprintf "T16 FAIL: best name-scan speedup %.2fx below %.1fx\n"
+          (best speedups) bar;
+        exit 1
+      end
+      else begin
+        Printf.printf "scan gate below bar, re-measuring (try %d)\n" (tries + 1);
+        scan_gate (tries + 1) (List.map measure_scan scan_queries)
+      end
+    in
+    scan_gate 1 scan_speedups;
+    (* gate (c): A/A — the always-miss dispatch exercises only machinery
+       both modes share (symbol-keyed footprint intersection), so the
+       ablation must not change it; retried to absorb scheduler
+       hiccups *)
+    let rec aa tries =
+      let on = dispatch_cost ~miss:true true in
+      let off = dispatch_cost ~miss:true false in
+      let delta = (on -. off) /. off in
+      Printf.printf "A/A always-miss delta (try %d): %+.1f%%\n" tries
+        (100. *. delta);
+      if delta <= 0.10 then ()
+      else if tries >= 3 then begin
+        Printf.eprintf
+          "T16 FAIL: interning changes the always-miss dispatch by more \
+           than 10%% after 3 tries\n";
+        exit 1
+      end
+      else aa (tries + 1)
+    in
+    aa 1;
+    print_endline
+      "T16 check: results identical, intern table stable, scan bar met, \
+       A/A ties"
+  end
+
 let () =
   let only = ref [] in
   let check = ref false in
@@ -1757,4 +2013,5 @@ let () =
   run "t13" (bench_t13 ~check:!check);
   run "t14" (bench_t14 ~check:!check);
   run "t15" (bench_t15 ~check:!check);
+  run "t16" (bench_t16 ~check:!check);
   print_endline "\ndone."

@@ -36,6 +36,11 @@
 # against a shed threshold sheds nothing or lets the queue depth exceed
 # the threshold, or if the migrated workload's p99 is not strictly
 # below the server-rendered p99 at the largest fleet.
+# The T16 line gates name interning: it fails if the interned and
+# ablated modes disagree on any scan result, if re-parsing a document
+# grows the global intern table, if no long-name scan clears the
+# speedup bar, or if an always-miss dispatch (which exercises only the
+# symbol-keyed machinery both modes share) shifts by more than 10%.
 set -eu
 cd "$(dirname "$0")"
 dune build @all
@@ -48,3 +53,4 @@ dune exec bench/main.exe -- --smoke --only t12 --check > /dev/null
 dune exec bench/main.exe -- --smoke --only t13 --check > /dev/null
 dune exec bench/main.exe -- --smoke --only t14 --check > /dev/null
 dune exec bench/main.exe -- --smoke --only t15 --check > /dev/null
+dune exec bench/main.exe -- --smoke --only t16 --check > /dev/null

@@ -49,10 +49,10 @@ let fresh_state (b : Browser.t) window =
     let qn = Qname.of_string name in
     let qn =
       match qn.Qname.prefix with
-      | None -> { qn with Qname.uri = Some Qname.Ns.local }
+      | None -> Qname.with_uri qn (Some Qname.Ns.local)
       | Some p -> (
           match Qname.Env.lookup (SC.ns_env static) p with
-          | Some uri -> { qn with Qname.uri = Some uri }
+          | Some uri -> Qname.with_uri qn (Some uri)
           | None -> qn)
     in
     qn

@@ -30,17 +30,18 @@ and accel = {
   mutable keys_gen : int;
   okeys : (int, int) Hashtbl.t;  (* nid -> document-order ordinal *)
   mutable idx_gen : int;
-  by_id : (string, node list) Hashtbl.t;
-      (* id attribute value -> elements, document order *)
-  by_name : (string, node list) Hashtbl.t;
-      (* local name -> elements, document order *)
+  by_id : (int, node list) Hashtbl.t;
+      (* id attribute value (interned) -> elements, document order *)
+  by_name : (int, node list) Hashtbl.t;
+      (* local-name symbol -> elements, document order *)
   mutable vidx_gen : int;
-  by_attr_value : (string * string, node list) Hashtbl.t;
-      (* (attribute local name, value) -> owning elements, doc order *)
-  by_text_value : (string * string, node list) Hashtbl.t;
-      (* (element local name, string value) -> flat elements, doc order *)
-  text_complex : (string, unit) Hashtbl.t;
-      (* local names with at least one non-flat (element-children)
+  by_attr_value : (int * int, node list) Hashtbl.t;
+      (* (attr local-name sym, value sym) -> owning elements, doc order *)
+  by_text_value : (int * int, node list) Hashtbl.t;
+      (* (elem local-name sym, string-value sym) -> flat elements,
+         doc order *)
+  text_complex : (int, unit) Hashtbl.t;
+      (* local-name syms with at least one non-flat (element-children)
          occurrence; text-value lookups on these names are unreliable
          and must fall back to a scan *)
 }
@@ -172,6 +173,30 @@ let value_index = ref true
 let set_value_index b = value_index := b
 let value_index_enabled () = !value_index
 
+(* Interned-name fast paths (the [--no-interning] ablation): forwards
+   to the global [Sym] switch, which gates [Qname.equal]/[compare] and
+   the evaluator's symbol probes. Index *storage* stays symbol-keyed
+   either way — interning is a bijection, so both modes probe the same
+   keys; the switch selects whether probe keys come from pre-interned
+   symbols or are re-derived from strings. *)
+let set_interned_fastpaths b = Sym.set_fastpaths b
+let interned_fastpaths_enabled () = Sym.fastpaths_enabled ()
+
+(* The "id" attribute's symbol, compared against attribute local names
+   on every structural-invalidation decision. *)
+let id_sym : Sym.t = Sym.intern "id"
+
+(* Like [attribute_local], matching on the pre-interned local-name
+   symbol instead of the string. *)
+let attribute_by_sym n (sym : Sym.t) =
+  List.find_map
+    (fun a ->
+      match a.nkind with
+      | P_attribute { aname; avalue } when Sym.equal aname.Qname.lsym sym ->
+          Some avalue
+      | _ -> None)
+    (attributes n)
+
 (* Mark a node's own accel state stale. Called whenever the node
    becomes parentless: its caches may describe a tree it was part of
    while attached (mutations there only bumped the attached root). *)
@@ -251,10 +276,10 @@ let ensure_indexes r s =
     let rec walk n =
       (match n.nkind with
       | P_element e ->
-          (match attribute_local n "id" with
-          | Some v -> add s.by_id v n
+          (match attribute_by_sym n id_sym with
+          | Some v -> add s.by_id (Sym.intern v :> int) n
           | None -> ());
-          add s.by_name e.ename.Qname.local n
+          add s.by_name (e.ename.Qname.lsym :> int) n
       | _ -> ());
       List.iter walk (children n)
     in
@@ -439,21 +464,21 @@ let unobserve oid = Hashtbl.remove observers oid
    when the mutated tree is footprint-tracked. *)
 type fp_item =
   | FP_subtree of node  (* inserted/removed/replaced subtree *)
-  | FP_name of string  (* a local name whose index buckets changed *)
+  | FP_name of Sym.t  (* a local name whose index buckets changed *)
   | FP_id of string  (* an id attribute value added/removed/changed *)
-  | FP_key of string * string  (* (attr local name, value) key touched *)
+  | FP_key of Sym.t * string  (* (attr local name, value) key touched *)
 
 let fp_scan_subtree w n =
   let rec walk n =
     (match n.nkind with
     | P_element e ->
-        Footprint.add_wname w e.ename.Qname.local;
+        Footprint.add_wname w e.ename.Qname.lsym;
         List.iter
           (fun a ->
             match a.nkind with
             | P_attribute { aname; avalue } ->
-                Footprint.add_wkey w ~local:aname.Qname.local avalue;
-                if String.equal aname.Qname.local "id" then
+                Footprint.add_wkey w ~local:aname.Qname.lsym avalue;
+                if Sym.equal aname.Qname.lsym id_sym then
                   Footprint.add_wid w avalue
             | _ -> ())
           e.eattrs
@@ -547,7 +572,7 @@ let detach n =
          indexes survive *)
       (match n.nkind with
       | P_element _ | P_document _ -> invalidate p
-      | P_attribute a when String.equal a.aname.Qname.local "id" ->
+      | P_attribute a when Sym.equal a.aname.Qname.lsym id_sym ->
           invalidate p
       | P_attribute _ | P_text _ | P_comment _ | P_pi _ ->
           touch_values (root p));
@@ -561,9 +586,10 @@ let detach n =
       touch n
 
 (* Footprint extras for an attribute: its (local, value) key, plus the
-   id index when the attribute is an id. *)
-let fp_attr local v =
-  FP_key (local, v) :: (if String.equal local "id" then [ FP_id v ] else [])
+   id index when the attribute is an id. [lsym] is the attribute's
+   local-name symbol. *)
+let fp_attr lsym v =
+  FP_key (lsym, v) :: (if Sym.equal lsym id_sym then [ FP_id v ] else [])
 
 let remove n =
   match n.nparent with
@@ -572,7 +598,7 @@ let remove n =
       match n.nkind with
       | P_attribute { aname; avalue } ->
           detach n;
-          notify ~fp:(fp_attr aname.Qname.local avalue) p
+          notify ~fp:(fp_attr aname.Qname.lsym avalue) p
             (Attribute_changed (p, aname))
       | _ ->
           detach n;
@@ -621,7 +647,7 @@ let replace n replacements =
           let fp = ref [] in
           (match n.nkind with
           | P_attribute { aname; avalue } ->
-              fp := fp_attr aname.Qname.local avalue
+              fp := fp_attr aname.Qname.lsym avalue
           | _ -> ());
           List.iter
             (fun r ->
@@ -632,7 +658,7 @@ let replace n replacements =
                   | P_element e -> e.eattrs <- e.eattrs @ [ r ]
                   | _ -> err "attribute replacement target is not an element");
                   r.nparent <- Some p;
-                  fp := fp_attr aname.Qname.local avalue @ !fp
+                  fp := fp_attr aname.Qname.lsym avalue @ !fp
               | _ -> err "an attribute can only be replaced by attributes")
             replacements;
           notify ~fp:!fp p (Attribute_changed (p, Option.get (name n)))
@@ -659,18 +685,18 @@ let set_value n v =
   let fp =
     match n.nkind with
     | P_attribute a ->
-        let local = a.aname.Qname.local in
-        fp_attr local a.avalue @ fp_attr local v
+        let lsym = a.aname.Qname.lsym in
+        fp_attr lsym a.avalue @ fp_attr lsym v
     | P_text _ -> (
         (* text content feeds the parent element's text-value index *)
         match n.nparent with
-        | Some { nkind = P_element e; _ } -> [ FP_name e.ename.Qname.local ]
+        | Some { nkind = P_element e; _ } -> [ FP_name e.ename.Qname.lsym ]
         | _ -> [])
     | P_comment _ | P_pi _ -> []
     | P_element e ->
         (* replaceElementContent: old children go away; the element's
            own text-index key changes *)
-        FP_name e.ename.Qname.local
+        FP_name e.ename.Qname.lsym
         :: List.map (fun c -> FP_subtree c) (children n)
     | P_document _ -> List.map (fun c -> FP_subtree c) (children n)
   in
@@ -689,9 +715,9 @@ let set_value n v =
 let rename n qn =
   let fp =
     match n.nkind with
-    | P_element e -> [ FP_name e.ename.Qname.local; FP_name qn.Qname.local ]
+    | P_element e -> [ FP_name e.ename.Qname.lsym; FP_name qn.Qname.lsym ]
     | P_attribute a ->
-        fp_attr a.aname.Qname.local a.avalue @ fp_attr qn.Qname.local a.avalue
+        fp_attr a.aname.Qname.lsym a.avalue @ fp_attr qn.Qname.lsym a.avalue
     | _ -> []
   in
   (match n.nkind with
@@ -720,14 +746,14 @@ let set_attribute el qn v =
           | P_attribute r -> r.avalue <- v
           | _ -> assert false);
           notify
-            ~fp:(fp_attr qn.Qname.local old @ fp_attr qn.Qname.local v)
+            ~fp:(fp_attr qn.Qname.lsym old @ fp_attr qn.Qname.lsym v)
             el
             (Attribute_changed (el, qn))
       | None ->
           let a = create_attribute qn v in
           a.nparent <- Some el;
           e.eattrs <- e.eattrs @ [ a ];
-          notify ~fp:(fp_attr qn.Qname.local v) el (Attribute_changed (el, qn)))
+          notify ~fp:(fp_attr qn.Qname.lsym v) el (Attribute_changed (el, qn)))
   | _ -> err "set_attribute: not an element"
 
 let remove_attribute el qn =
@@ -739,7 +765,7 @@ let remove_attribute el qn =
           (fun a ->
             match a.nkind with
             | P_attribute { aname; avalue } when Qname.equal aname qn ->
-                fp := fp_attr aname.Qname.local avalue @ !fp;
+                fp := fp_attr aname.Qname.lsym avalue @ !fp;
                 false
             | _ -> true)
           e.eattrs;
@@ -753,7 +779,7 @@ let append_attribute ~parent a =
       e.eattrs <- e.eattrs @ [ a ];
       a.nparent <- Some parent;
       notify
-        ~fp:(fp_attr aname.Qname.local avalue)
+        ~fp:(fp_attr aname.Qname.lsym avalue)
         parent
         (Attribute_changed (parent, aname))
   | _ -> err "append_attribute: expects an element and an attribute"
@@ -872,7 +898,12 @@ let get_element_by_id n idv =
       let r = root n in
       let s = accel_of r in
       ensure_indexes r s;
-      match Hashtbl.find_opt s.by_id idv with
+      (* probe without interning: a value that was never interned is in
+         no index, and missing-id probes must not grow the table *)
+      match
+        Option.bind (Sym.find_opt idv) (fun sym ->
+            Hashtbl.find_opt s.by_id (sym :> int))
+      with
       | None | Some [] -> None
       | Some (first :: _ as bucket) ->
           if n == r then Some first
@@ -894,15 +925,17 @@ let get_element_by_id n idv =
   end;
   hit
 
-let get_elements_by_local_name n local =
+let get_elements_by_local_sym n (sym : Sym.t) =
   if Footprint.recording () then
-    Footprint.reading_name ~root:(root n).nid ~scope:n.nid local;
+    Footprint.reading_name ~root:(root n).nid ~scope:n.nid sym;
   if !acceleration then begin
     if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.lookup.by-name";
     let r = root n in
     let s = accel_of r in
     ensure_indexes r s;
-    let bucket = Option.value ~default:[] (Hashtbl.find_opt s.by_name local) in
+    let bucket =
+      Option.value ~default:[] (Hashtbl.find_opt s.by_name (sym :> int))
+    in
     if n == r then bucket else List.filter (fun c -> in_subtree ~top:n c) bucket
   end
   else begin
@@ -913,10 +946,18 @@ let get_elements_by_local_name n local =
     List.filter
       (fun c ->
         match c.nkind with
-        | P_element e -> String.equal e.ename.Qname.local local
+        | P_element e -> Sym.equal e.ename.Qname.lsym sym
         | _ -> false)
       candidates
   end
+
+(* The string entry point interns (a table probe, the cost the old
+   string-keyed index paid anyway); callers holding a [Qname.t] should
+   use [get_elements_by_local_sym] with the pre-interned symbol. The
+   intern is also what lets the footprint record a name the document
+   does not contain yet. *)
+let get_elements_by_local_name n local =
+  get_elements_by_local_sym n (Sym.intern local)
 
 (* ------------------------------------------------------------------ *)
 (* Value indexes.
@@ -952,7 +993,9 @@ let ensure_value_indexes r s =
             (fun a ->
               match a.nkind with
               | P_attribute { aname; avalue } ->
-                  add s.by_attr_value (aname.Qname.local, avalue) n
+                  add s.by_attr_value
+                    ((aname.Qname.lsym :> int), (Sym.intern avalue :> int))
+                    n
               | _ -> ())
             e.eattrs;
           let flat =
@@ -962,8 +1005,11 @@ let ensure_value_indexes r s =
               e.echildren
           in
           if flat then
-            add s.by_text_value (e.ename.Qname.local, string_value n) n
-          else Hashtbl.replace s.text_complex e.ename.Qname.local ()
+            add s.by_text_value
+              ( (e.ename.Qname.lsym :> int),
+                (Sym.intern (string_value n) :> int) )
+              n
+          else Hashtbl.replace s.text_complex (e.ename.Qname.lsym :> int) ()
       | _ -> ());
       List.iter walk (children n)
     in
@@ -974,7 +1020,7 @@ let ensure_value_indexes r s =
     s.vidx_gen <- s.gen
   end
 
-let value_lookup which n local v =
+let value_lookup which n (lsym : Sym.t) v =
   if Footprint.recording () then begin
     (* Record the probe whether or not the index can answer: the scan
        fallback covers a superset, so this is conservative either way.
@@ -982,8 +1028,8 @@ let value_lookup which n local v =
        flat element writes its name), attribute probes the exact key. *)
     let rid = (root n).nid in
     match which with
-    | `Attr -> Footprint.reading_key ~root:rid ~scope:n.nid ~local v
-    | `Text -> Footprint.reading_name ~root:rid ~scope:n.nid local
+    | `Attr -> Footprint.reading_key ~root:rid ~scope:n.nid ~local:lsym v
+    | `Text -> Footprint.reading_name ~root:rid ~scope:n.nid lsym
   end;
   if not !value_index then None
   else begin
@@ -993,12 +1039,20 @@ let value_lookup which n local v =
     let tbl, complex =
       match which with
       | `Attr -> (s.by_attr_value, false)
-      | `Text -> (s.by_text_value, Hashtbl.mem s.text_complex local)
+      | `Text -> (s.by_text_value, Hashtbl.mem s.text_complex (lsym :> int))
     in
     if complex then None
     else begin
       if !Obs.Metrics.enabled then Obs.Metrics.incr "dom.value_index.hits";
-      let bucket = Option.value ~default:[] (Hashtbl.find_opt tbl (local, v)) in
+      (* a value that was never interned keys no bucket; probing with
+         [find_opt] keeps always-miss lookups from growing the table *)
+      let bucket =
+        match Sym.find_opt v with
+        | None -> []
+        | Some vsym ->
+            Option.value ~default:[]
+              (Hashtbl.find_opt tbl ((lsym :> int), (vsym :> int)))
+      in
       Some
         (if n == r then bucket
          else List.filter (fun c -> in_subtree ~top:n c) bucket)
@@ -1007,11 +1061,13 @@ let value_lookup which n local v =
 
 (* Elements in the subtree of [n] (inclusive) owning an attribute with
    the given local name and exact value, in document order. *)
-let elements_by_attr_value n ~local v = value_lookup `Attr n local v
+let elements_by_attr_value_sym n ~local v = value_lookup `Attr n local v
+let elements_by_attr_value n ~local v = value_lookup `Attr n (Sym.intern local) v
 
 (* Flat elements in the subtree of [n] (inclusive) with the given local
    name and exact string value, in document order. *)
-let elements_by_text_value n ~local v = value_lookup `Text n local v
+let elements_by_text_value_sym n ~local v = value_lookup `Text n local v
+let elements_by_text_value n ~local v = value_lookup `Text n (Sym.intern local) v
 
 (* Current accel generation of the tree containing [n]; exposed so
    tests can pin down exactly how often updates invalidate caches. *)

@@ -13,16 +13,27 @@
    index probes the same way keeps one region's listener clean when a
    sibling region mutates even though both probe the same local name.
 
+   All entries are keyed by interned symbols ([Xmlb.Sym]): names arrive
+   pre-interned from [Qname.t], id and attribute *values* are interned
+   at record time. Dispatch-time intersection is therefore pure int
+   hashing, and the old "local=value" key concatenation is gone. Read
+   probes must intern even never-seen strings — a later mutation can
+   create that name, and its (then freshly interned) symbol has to hit
+   the recorded entry.
+
    This module deliberately knows nothing about [Dom.node] — it traffics
-   in node ids and strings only, so it sits below [Dom] in the library
+   in node ids and symbols only, so it sits below [Dom] in the library
    and both [Dom] (capture) and the evaluator (recording) can call it. *)
+
+open Xmlb
 
 type read = {
   roots : (int, unit) Hashtbl.t;  (* root ids of every tree consulted *)
   scopes : (int, unit) Hashtbl.t;  (* subtree-walk origins (node ids) *)
-  names : (string * int, unit) Hashtbl.t;  (* (local name, scope) probes *)
-  ids : (string * int, unit) Hashtbl.t;  (* (id value, scope) probes *)
-  keys : (string * int, unit) Hashtbl.t;  (* ("local=value", scope) probes *)
+  names : (int * int, unit) Hashtbl.t;  (* (local-name sym, scope) probes *)
+  ids : (int * int, unit) Hashtbl.t;  (* (id-value sym, scope) probes *)
+  keys : (int * int * int, unit) Hashtbl.t;
+      (* (attr-local sym, value sym, scope) probes *)
   mutable coarse : bool;
       (* entry cap exceeded: degrade to whole-root granularity *)
   mutable poisoned : bool;
@@ -47,14 +58,12 @@ let create () =
    fall back to "anything under a consulted root dirties me". *)
 let max_entries = 4096
 
-let attr_key local v = local ^ "=" ^ v
-
 type wrec = {
   wroot : int;  (* root id of the mutated tree, at notification time *)
   chain : int list;  (* ancestor-or-self ids of the mutation point *)
-  mutable wnames : string list;
-  mutable wids : string list;
-  mutable wkeys : string list;
+  mutable wnames : int list;  (* local-name syms *)
+  mutable wids : int list;  (* id-value syms *)
+  mutable wkeys : (int * int) list;  (* (attr-local sym, value sym) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -125,20 +134,20 @@ let reading_scope ~root ~node =
       Hashtbl.replace fp.roots root ();
       add_entry fp.scopes fp node)
 
-let reading_name ~root ~scope local =
+let reading_name ~root ~scope (sym : Sym.t) =
   with_fp (fun fp ->
       Hashtbl.replace fp.roots root ();
-      add_entry fp.names fp (local, scope))
+      add_entry fp.names fp ((sym :> int), scope))
 
 let reading_id ~root ~scope v =
   with_fp (fun fp ->
       Hashtbl.replace fp.roots root ();
-      add_entry fp.ids fp (v, scope))
+      add_entry fp.ids fp ((Sym.intern v :> int), scope))
 
-let reading_key ~root ~scope ~local v =
+let reading_key ~root ~scope ~local:(lsym : Sym.t) v =
   with_fp (fun fp ->
       Hashtbl.replace fp.roots root ();
-      add_entry fp.keys fp (attr_key local v, scope))
+      add_entry fp.keys fp ((lsym :> int), (Sym.intern v :> int), scope))
 
 let poison () = with_fp (fun fp -> fp.poisoned <- true)
 let is_poisoned fp = fp.poisoned
@@ -149,9 +158,11 @@ let is_poisoned fp = fp.poisoned
 let fresh_wrec ~root ~chain =
   { wroot = root; chain; wnames = []; wids = []; wkeys = [] }
 
-let add_wname w l = w.wnames <- l :: w.wnames
-let add_wid w v = w.wids <- v :: w.wids
-let add_wkey w ~local v = w.wkeys <- attr_key local v :: w.wkeys
+let add_wname w (sym : Sym.t) = w.wnames <- (sym :> int) :: w.wnames
+let add_wid w v = w.wids <- (Sym.intern v :> int) :: w.wids
+
+let add_wkey w ~local:(lsym : Sym.t) v =
+  w.wkeys <- ((lsym :> int), (Sym.intern v :> int)) :: w.wkeys
 
 (* Pending write records of the current mutation batch (a PUL apply
    funnels all its primitives into one commit). Reverse order. *)
@@ -184,7 +195,8 @@ let intersects_wrec fp w =
           (fun v -> List.exists (fun c -> Hashtbl.mem fp.ids (v, c)) w.chain)
           w.wids
      || List.exists
-          (fun k -> List.exists (fun c -> Hashtbl.mem fp.keys (k, c)) w.chain)
+          (fun (l, v) ->
+            List.exists (fun c -> Hashtbl.mem fp.keys (l, v, c)) w.chain)
           w.wkeys)
 
 let intersects fp ws = fp.poisoned || List.exists (intersects_wrec fp) ws

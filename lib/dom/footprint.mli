@@ -9,8 +9,14 @@
     batched per PUL apply. {!intersects} decides whether a mutation
     batch can have changed anything a recorded run read.
 
-    The module is id/string-based only: it sits below [Dom] so both the
+    All entries are symbol-keyed ([Xmlb.Sym]): names arrive
+    pre-interned from [Qname.t]; id and attribute values are interned
+    at record time, so dispatch-time intersection is int hashing.
+
+    The module is id/symbol-based only: it sits below [Dom] so both the
     DOM (capture side) and the evaluator (recording side) can use it. *)
+
+open Xmlb
 
 type read
 
@@ -57,13 +63,14 @@ val reading_root : int -> unit
 val reading_scope : root:int -> node:int -> unit
 
 (** Local-name index probe confined to subtree [scope]. *)
-val reading_name : root:int -> scope:int -> string -> unit
+val reading_name : root:int -> scope:int -> Sym.t -> unit
 
-(** id lookup confined to subtree [scope]. *)
+(** id lookup confined to subtree [scope]; the value is interned. *)
 val reading_id : root:int -> scope:int -> string -> unit
 
-(** (attribute local name, value) index probe confined to [scope]. *)
-val reading_key : root:int -> scope:int -> local:string -> string -> unit
+(** (attribute local name, value) index probe confined to [scope];
+    the value is interned. *)
+val reading_key : root:int -> scope:int -> local:Sym.t -> string -> unit
 
 (** The run read state we cannot fingerprint (global variables,
     external functions, impure builtins) or performed effects; its memo
@@ -79,9 +86,9 @@ val is_poisoned : read -> bool
     reactive layer's [on_commit]. *)
 
 val fresh_wrec : root:int -> chain:int list -> wrec
-val add_wname : wrec -> string -> unit
+val add_wname : wrec -> Sym.t -> unit
 val add_wid : wrec -> string -> unit
-val add_wkey : wrec -> local:string -> string -> unit
+val add_wkey : wrec -> local:Sym.t -> string -> unit
 val record_write : wrec -> unit
 val commit : unit -> unit
 val on_commit : (wrec list -> unit) ref

@@ -1,25 +1,55 @@
-type t = { uri : string option; prefix : string option; local : string }
+type t = {
+  uri : string option;
+  prefix : string option;
+  local : string;
+  usym : int;
+  lsym : Sym.t;
+}
 
-let make ?uri ?prefix local = { uri; prefix; local }
+(* -1 encodes "no namespace": [intern] only hands out ids >= 0, so the
+   sentinel can never collide with a real URI's symbol. *)
+let no_uri_sym = -1
+let usym_of = function None -> no_uri_sym | Some u -> (Sym.intern u :> int)
+
+let make ?uri ?prefix local =
+  { uri; prefix; local; usym = usym_of uri; lsym = Sym.intern local }
 
 let of_string s =
   match String.index_opt s ':' with
-  | None -> { uri = None; prefix = None; local = s }
+  | None -> make s
   | Some i ->
       let prefix = String.sub s 0 i in
       let local = String.sub s (i + 1) (String.length s - i - 1) in
-      { uri = None; prefix = Some prefix; local }
+      make ~prefix local
 
+let with_uri t uri = { t with uri; usym = usym_of uri }
+
+let lsym t = t.lsym
+let usym t = t.usym
+
+(* Interning is a bijection between distinct strings and symbols, so
+   the symbol compare and the string compare decide equality
+   identically; the switch only selects which cost is paid (the
+   [--no-interning] ablation). *)
 let equal a b =
-  String.equal a.local b.local
-  && Option.equal String.equal a.uri b.uri
+  if !Sym.fastpaths then Sym.equal a.lsym b.lsym && a.usym = b.usym
+  else
+    String.equal a.local b.local && Option.equal String.equal a.uri b.uri
 
+(* The order stays string-based in both modes — symbol ids depend on
+   intern order, and an intern-order sort would leak into any
+   observable sorted output. The fast path only short-circuits the
+   equal case to O(1). *)
 let compare a b =
-  match Option.compare String.compare a.uri b.uri with
-  | 0 -> String.compare a.local b.local
-  | c -> c
+  if !Sym.fastpaths && Sym.equal a.lsym b.lsym && a.usym = b.usym then 0
+  else
+    match Option.compare String.compare a.uri b.uri with
+    | 0 -> String.compare a.local b.local
+    | c -> c
 
-let hash t = Hashtbl.hash (t.uri, t.local)
+(* Mix of the pre-interned symbols: no tuple allocation, no option
+   blocks, no string walk. Consistent with [equal] in both modes. *)
+let hash t = (((t.usym + 1) * 65599) + (t.lsym :> int)) land max_int
 
 let to_string t =
   match t.prefix with
@@ -78,10 +108,9 @@ module Env = struct
     | Some _ -> qn
     | None -> (
         match qn.prefix with
-        | None ->
-            if use_default then { qn with uri = env.default_ns } else qn
+        | None -> if use_default then with_uri qn env.default_ns else qn
         | Some p -> (
             match lookup env p with
-            | Some uri -> { qn with uri = Some uri }
+            | Some uri -> with_uri qn (Some uri)
             | None -> failwith (Printf.sprintf "XPST0081: unbound prefix %S" p)))
 end

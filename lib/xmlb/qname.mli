@@ -2,12 +2,18 @@
 
     A {!t} is an expanded name: an optional namespace URI, an optional
     prefix (kept for serialization fidelity only; equality ignores it)
-    and a local part. *)
+    and a local part — plus the pre-interned {!Sym} symbols of the URI
+    and local part, built once at construction, so name comparison and
+    index keying are int operations. The record is private: build names
+    with {!make}/{!of_string}/{!with_uri} so the symbols always agree
+    with the strings. *)
 
-type t = {
+type t = private {
   uri : string option;  (** namespace URI, [None] = no namespace *)
   prefix : string option;  (** original prefix, ignored by {!equal} *)
   local : string;
+  usym : int;  (** interned URI symbol; [-1] when [uri] is [None] *)
+  lsym : Sym.t;  (** interned local-part symbol *)
 }
 
 val make : ?uri:string -> ?prefix:string -> string -> t
@@ -16,10 +22,28 @@ val make : ?uri:string -> ?prefix:string -> string -> t
     the URI is left unresolved ([None]). *)
 val of_string : string -> t
 
-(** Equality on expanded name: URI and local part only. *)
+(** Replace the URI, re-interning its symbol (the only correct way to
+    change a name's namespace — a record update would leave a stale
+    symbol). *)
+val with_uri : t -> string option -> t
+
+(** The pre-interned local-part symbol. *)
+val lsym : t -> Sym.t
+
+(** The pre-interned URI symbol, [-1] for no namespace. *)
+val usym : t -> int
+
+(** Equality on expanded name: URI and local part only. Symbol compare
+    when interned fast paths are on, string compare under the
+    [--no-interning] ablation — same decisions either way. *)
 val equal : t -> t -> bool
 
+(** String-based order in both modes (symbol ids are intern-order and
+    must not leak into sorted output); the fast path short-circuits
+    equality to O(1). *)
 val compare : t -> t -> int
+
+(** Mix of the pre-interned symbols; consistent with {!equal}. *)
 val hash : t -> int
 
 (** ["p:local"] or ["local"], using the stored prefix. *)

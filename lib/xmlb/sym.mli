@@ -1,0 +1,55 @@
+(** Global string interning: hash-consed names as integer symbols.
+
+    Every distinct string interned gets a small non-negative int that
+    is stable for the lifetime of the process, so symbol equality is
+    string equality and the innermost comparisons of name tests, index
+    probes and footprint intersections become int operations. The table
+    only grows — interned strings are never collected — which is the
+    right trade for names (documents reuse a small vocabulary) and is
+    observable through {!stats} / the [browser:stats()] [sym] element.
+
+    The table itself is always on: {!Qname.t} carries pre-interned
+    symbols unconditionally. The {!fastpaths} switch (the
+    [--no-interning] ablation) only gates the comparison fast paths
+    that consult symbols instead of strings. *)
+
+type t = private int
+
+(** Intern a string, returning its symbol. O(1) amortised; the first
+    intern of a string stores it permanently. *)
+val intern : string -> t
+
+(** Probe without interning: [None] if the string was never interned
+    (so nothing in the process can be keyed by it). *)
+val find_opt : string -> t option
+
+(** The string a symbol stands for. O(1). *)
+val name : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** {1 Ablation switch}
+
+    Gates the symbol fast paths ([Qname.equal]/[compare], evaluator
+    name tests, symbol index probes). The intern table keeps running
+    either way, so toggling mid-session never invalidates symbol-keyed
+    state. Exposed as a ref so hot paths can read it with one load. *)
+
+val fastpaths : bool ref
+val set_fastpaths : bool -> unit
+val fastpaths_enabled : unit -> bool
+
+(** {1 Stats} *)
+
+val size : unit -> int
+
+(** Total bytes of interned string payload. *)
+val bytes : unit -> int
+
+(** [intern] calls that found an existing entry / created one. *)
+val hits : unit -> int
+
+val misses : unit -> int
+val stats : unit -> (string * int) list

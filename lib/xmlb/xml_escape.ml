@@ -1,12 +1,37 @@
-let escape_with specials s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match List.assoc_opt c specials with
-      | Some rep -> Buffer.add_string buf rep
-      | None -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* Partial application precomputes a 256-slot replacement table, so
+   the per-string scan does one array load per byte. The common case —
+   nothing to escape — returns the input unchanged without allocating;
+   otherwise unescaped runs are copied with [Buffer.add_substring]. *)
+let escape_with specials =
+  let tbl = Array.make 256 None in
+  List.iter (fun (c, rep) -> tbl.(Char.code c) <- Some rep) specials;
+  fun s ->
+    let n = String.length s in
+    let rec first i =
+      if i >= n then -1
+      else
+        match tbl.(Char.code (String.unsafe_get s i)) with
+        | Some _ -> i
+        | None -> first (i + 1)
+    in
+    let i0 = first 0 in
+    if i0 < 0 then s
+    else begin
+      let buf = Buffer.create (n + 16) in
+      Buffer.add_substring buf s 0 i0;
+      let run_start = ref i0 in
+      for i = i0 to n - 1 do
+        match tbl.(Char.code (String.unsafe_get s i)) with
+        | Some rep ->
+            if i > !run_start then
+              Buffer.add_substring buf s !run_start (i - !run_start);
+            Buffer.add_string buf rep;
+            run_start := i + 1
+        | None -> ()
+      done;
+      if n > !run_start then Buffer.add_substring buf s !run_start (n - !run_start);
+      Buffer.contents buf
+    end
 
 let text = escape_with [ ('&', "&amp;"); ('<', "&lt;"); ('>', "&gt;") ]
 

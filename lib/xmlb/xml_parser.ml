@@ -18,7 +18,18 @@ type state = {
   mutable line : int;
   mutable col : int;
   options : options;
+  qnames : (string, Qname.t) Hashtbl.t;
+      (* raw token -> parsed name: each distinct name in a document is
+         split and interned exactly once, repeats share one record *)
 }
+
+let qname_of st raw =
+  match Hashtbl.find_opt st.qnames raw with
+  | Some qn -> qn
+  | None ->
+      let qn = Qname.of_string raw in
+      Hashtbl.replace st.qnames raw qn;
+      qn
 
 let error st message =
   raise (Parse_error { line = st.line; col = st.col; message })
@@ -130,7 +141,7 @@ let rec read_attributes st acc =
       end
       else name (* HTML-style boolean attribute *)
     in
-    read_attributes st ({ name = Qname.of_string name; value } :: acc)
+    read_attributes st ({ name = qname_of st name; value } :: acc)
   end
 
 let apply_case st name =
@@ -229,7 +240,7 @@ and parse_element st env =
   let raw_name = apply_case st (read_name st) in
   let attrs, self_closing = read_attributes st [] in
   let env, name, attrs =
-    resolve_namespaces st env (Qname.of_string raw_name) attrs
+    resolve_namespaces st env (qname_of st raw_name) attrs
   in
   if self_closing then Element (name, attrs, [])
   else if is_raw_text_element raw_name then begin
@@ -287,7 +298,9 @@ and read_until_ci st delim =
   content
 
 let parse ?(options = default_options) src =
-  let st = { src; pos = 0; line = 1; col = 1; options } in
+  let st =
+    { src; pos = 0; line = 1; col = 1; options; qnames = Hashtbl.create 32 }
+  in
   let items = parse_content st Qname.Env.empty None [] in
   List.filter
     (function Text t -> not (String.for_all is_space t) | _ -> true)

@@ -32,7 +32,7 @@ type fn_impl = D.t -> I.sequence list -> I.sequence
 
 type prog_code = {
   body : (D.t -> I.sequence) option;
-  fns : (string * fn_impl) list;
+  fns : ((int * int * int) * fn_impl) list;
 }
 
 (* ablation switch, mirroring Eval.set_streaming *)
@@ -475,7 +475,7 @@ let rec emit (scope : scope) (c : C.t) : env -> I.sequence =
       (* this dispatch bypasses Eval.call_function, so the recorded-run
          impurity check must be replicated here; the test is hoisted to
          emission time *)
-      let impure = Reactive.impure_builtin qn.Qname.local in
+      let impure = Reactive.impure_builtin_sym qn.Qname.lsym in
       fun env ->
         let vs = List.map (fun f -> f env) fs in
         if !Obs.Metrics.enabled then begin
@@ -632,7 +632,8 @@ let compile_expr static ?(params = []) e =
     let f = emit (List.rev scope) core in
     Some (f, size)
 
-let compile_fn static (decl : Ast.function_decl) : (string * fn_impl) option =
+let compile_fn static (decl : Ast.function_decl) :
+    ((int * int * int) * fn_impl) option =
   let plain_body =
     match (decl.Ast.kind, decl.Ast.body) with
     | Ast.F_sequential, Some (Ast.E_block _) -> None
@@ -649,10 +650,7 @@ let compile_fn static (decl : Ast.function_decl) : (string * fn_impl) option =
       | Some (bodyf, size) ->
           let params = Array.of_list decl.Ast.params in
           let name = Qname.to_string decl.Ast.fname in
-          let key =
-            Qname.to_clark decl.Ast.fname ^ "/"
-            ^ string_of_int (Array.length params)
-          in
+          let key = D.fn_key decl.Ast.fname ~arity:(Array.length params) in
           let impl ctx args =
             if ctx.D.depth > Eval.max_depth then
               err "XQDY0054" "maximum recursion depth exceeded in %s" name;

@@ -21,9 +21,10 @@ type prog_code = {
   body : (Dynamic_context.t -> Xdm_item.sequence) option;
       (** compiled main-module body; [None] when the body is absent or
           lowers to a single opaque node (the interpreter is used) *)
-  fns : (string * fn_impl) list;
-      (** compiled plain-expression function bodies, keyed
-          ["clark-name/arity"] for {!Dynamic_context.t.compiled_fns} *)
+  fns : ((int * int * int) * fn_impl) list;
+      (** compiled plain-expression function bodies, keyed by
+          {!Dynamic_context.fn_key} (uri sym, local sym, arity) for
+          {!Dynamic_context.t.compiled_fns} *)
 }
 
 (** Ablation switch (default on), mirroring {!Eval.set_streaming}. *)

@@ -148,8 +148,11 @@ type t = {
   pul : Pul.t;
   host : host;
   depth : int;
-  compiled_fns : (string, t -> Xdm_item.sequence list -> Xdm_item.sequence) Hashtbl.t;
+  compiled_fns :
+    (int * int * int, t -> Xdm_item.sequence list -> Xdm_item.sequence) Hashtbl.t;
 }
+
+let fn_key qn ~arity = (qn.Qname.usym, (qn.Qname.lsym :> int), arity)
 
 let create ?(host = default_host) static =
   {

@@ -68,12 +68,19 @@ type t = {
   pul : Pul.t;
   host : host;
   depth : int;
-  compiled_fns : (string, t -> Xdm_item.sequence list -> Xdm_item.sequence) Hashtbl.t;
-      (** compiled user-function bodies, keyed ["clark-name/arity"];
-          installed by {!Engine.context_for} when compiled evaluation is
-          on, consulted by [Eval.call_user_function] before the
-          tree-walking body dispatch *)
+  compiled_fns :
+    (int * int * int, t -> Xdm_item.sequence list -> Xdm_item.sequence) Hashtbl.t;
+      (** compiled user-function bodies, keyed by {!fn_key} (uri sym,
+          local sym, arity); installed by {!Engine.context_for} when
+          compiled evaluation is on, consulted by
+          [Eval.call_user_function] before the tree-walking body
+          dispatch *)
 }
+
+(** Key of a user function in [compiled_fns]: (uri symbol, local-name
+    symbol, arity) from the Qname's pre-interned symbols — int hashing
+    per call instead of a Clark-string allocation. *)
+val fn_key : Qname.t -> arity:int -> int * int * int
 
 val create : ?host:host -> Static_context.t -> t
 

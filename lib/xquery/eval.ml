@@ -171,9 +171,8 @@ let step_nodes axis (test : Ast.node_test) n =
     Obs.Metrics.incr "eval.steps";
     Obs.Metrics.incr (axis_metric axis)
   end;
-  let by_local local refine =
+  let finish_local hits refine =
     if !Obs.Metrics.enabled then Obs.Metrics.incr "eval.step.desc-index";
-    let hits = Dom.get_elements_by_local_name n local in
     let hits =
       match refine with None -> hits | Some f -> List.filter f hits
     in
@@ -181,18 +180,29 @@ let step_nodes axis (test : Ast.node_test) n =
     | Ast.Descendant -> List.filter (fun m -> not (Dom.equal m n)) hits
     | _ -> hits
   in
+  let by_local local refine =
+    finish_local (Dom.get_elements_by_local_name n local) refine
+  in
+  (* Name_test probes by the pre-interned symbol when the interning fast
+     paths are on; the ablated path re-hashes the local-name string. *)
+  let by_sym sym refine =
+    finish_local (Dom.get_elements_by_local_sym n sym) refine
+  in
   match (axis, test) with
   | (Ast.Descendant | Ast.Descendant_or_self), Ast.Local_wildcard local
     when Dom.acceleration_enabled () ->
       by_local local None
   | (Ast.Descendant | Ast.Descendant_or_self), Ast.Name_test qn
     when Dom.acceleration_enabled () ->
-      by_local qn.Qname.local
-        (Some
-           (fun m ->
-             match Dom.name m with
-             | Some nm -> Qname.equal nm qn
-             | None -> false))
+      let refine =
+        Some
+          (fun m ->
+            match Dom.name m with
+            | Some nm -> Qname.equal nm qn
+            | None -> false)
+      in
+      if Sym.fastpaths_enabled () then by_sym qn.Qname.lsym refine
+      else by_local qn.Qname.local refine
   | _ ->
       if Footprint.recording () then record_axis_scope axis n;
       List.filter (node_test_matches ~axis test) (axis_nodes axis n)
@@ -230,11 +240,11 @@ let value_index_step axis test preds n =
        | Ast.Name_test qn ->
            Footprint.reading_name
              ~root:(Dom.id (Dom.root n))
-             ~scope:(Dom.id n) qn.Qname.local
+             ~scope:(Dom.id n) qn.Qname.lsym
        | Ast.Local_wildcard local ->
            Footprint.reading_name
              ~root:(Dom.id (Dom.root n))
-             ~scope:(Dom.id n) local
+             ~scope:(Dom.id n) (Sym.intern local)
        | _ -> ());
     let candidate el =
       node_test_matches ~axis test el
@@ -248,8 +258,15 @@ let value_index_step axis test preds n =
       end;
       Some (List.sort_uniq Dom.compare_order nodes, rest)
     in
+    (* Probe by the Qname's pre-interned symbol when the interning fast
+       paths are on; the ablated probe re-hashes the local-name string
+       (both key the same buckets — interning is a bijection). *)
     let attr_lookup qn s ~general rest =
-      match Dom.elements_by_attr_value n ~local:qn.Qname.local s with
+      match
+        (if Sym.fastpaths_enabled () then
+           Dom.elements_by_attr_value_sym n ~local:qn.Qname.lsym s
+         else Dom.elements_by_attr_value n ~local:qn.Qname.local s)
+      with
       | None -> None
       | Some bucket ->
           let keep el =
@@ -271,7 +288,11 @@ let value_index_step axis test preds n =
           finish (List.filter keep bucket) rest
     in
     let child_lookup qn s rest =
-      match Dom.elements_by_text_value n ~local:qn.Qname.local s with
+      match
+        (if Sym.fastpaths_enabled () then
+           Dom.elements_by_text_value_sym n ~local:qn.Qname.lsym s
+         else Dom.elements_by_text_value n ~local:qn.Qname.local s)
+      with
       | None -> None
       | Some bucket ->
           let parents =
@@ -1417,11 +1438,13 @@ and step_stream_scan ctx axis test preds n =
             Obs.Metrics.incr (axis_metric axis);
             Obs.Metrics.incr "eval.step.desc-index"
           end;
-          let local, refine =
+          let bucket, refine =
             match t with
-            | Ast.Local_wildcard l -> (l, None)
+            | Ast.Local_wildcard l -> (Dom.get_elements_by_local_name n l, None)
             | Ast.Name_test qn ->
-                ( qn.Qname.local,
+                ( (if Sym.fastpaths_enabled () then
+                     Dom.get_elements_by_local_sym n qn.Qname.lsym
+                   else Dom.get_elements_by_local_name n qn.Qname.local),
                   Some
                     (fun m ->
                       match Dom.name m with
@@ -1429,7 +1452,7 @@ and step_stream_scan ctx axis test preds n =
                       | None -> false) )
             | _ -> assert false (* excluded by the outer pattern *)
           in
-          let s = List.to_seq (Dom.get_elements_by_local_name n local) in
+          let s = List.to_seq bucket in
           let s = match refine with None -> s | Some f -> Seq.filter f s in
           let s =
             match axis with
@@ -1568,7 +1591,7 @@ and call_function ctx qn args =
               match Functions.find qn ~arity with
               | Some f ->
                   count "eval.calls.builtin";
-                  if Reactive.impure_builtin qn.Qname.local then
+                  if Reactive.impure_builtin_sym qn.Qname.lsym then
                     Footprint.poison ();
                   guard (fun () -> f (build_call_ctx ctx) args)
               | None ->
@@ -1577,14 +1600,13 @@ and call_function ctx qn args =
 
 and call_user_function ctx (decl : Ast.function_decl) args =
   (* compiled-eval fast path: Engine installs closure-compiled bodies
-     into the dynamic context (keyed "clark-name/arity"); fall through
+     into the dynamic context (keyed by symbol triple); fall through
      to the tree-walking dispatch when none is registered *)
   (match
      if Hashtbl.length ctx.D.compiled_fns = 0 then None
      else
        Hashtbl.find_opt ctx.D.compiled_fns
-         (Qname.to_clark decl.Ast.fname ^ "/"
-         ^ string_of_int (List.length decl.Ast.params))
+         (D.fn_key decl.Ast.fname ~arity:(List.length decl.Ast.params))
    with
   | Some impl -> impl ctx args
   | None -> call_user_function_ast ctx decl args)

@@ -6,11 +6,14 @@ type impl = Call_ctx.t -> I.sequence list -> I.sequence
 
 type entry = { min_arity : int; max_arity : int; impl : impl }
 
-let table : (string, entry list) Hashtbl.t = Hashtbl.create 128
+(* Keyed by (uri sym, local sym): registration interns each name once,
+   and lookups use the call site's pre-interned Qname symbols — the
+   old per-call "{uri}local" Clark-string allocation is gone. *)
+let table : (int * int, entry list) Hashtbl.t = Hashtbl.create 128
 let catalog_entries : (string * string * int * int) list ref = ref []
 
 let register ~uri ~local ~min_arity ~max_arity impl =
-  let key = "{" ^ uri ^ "}" ^ local in
+  let key = ((Sym.intern uri :> int), (Sym.intern local :> int)) in
   let existing = Option.value ~default:[] (Hashtbl.find_opt table key) in
   Hashtbl.replace table key ({ min_arity; max_arity; impl } :: existing);
   catalog_entries := (uri, local, min_arity, max_arity) :: !catalog_entries
@@ -18,8 +21,8 @@ let register ~uri ~local ~min_arity ~max_arity impl =
 let find qn ~arity =
   match qn.Qname.uri with
   | None -> None
-  | Some uri ->
-      let key = "{" ^ uri ^ "}" ^ qn.Qname.local in
+  | Some _ ->
+      let key = (qn.Qname.usym, (qn.Qname.lsym :> int)) in
       Option.bind (Hashtbl.find_opt table key) (fun entries ->
           List.find_opt
             (fun e ->
@@ -192,10 +195,10 @@ let () =
              match (Dom.kind n, Dom.name n) with
              | Dom.Element, Some q ->
                  Footprint.reading_name ~root:(Dom.id (Dom.root n))
-                   ~scope:(Dom.id n) q.Qname.local
+                   ~scope:(Dom.id n) q.Qname.lsym
              | Dom.Attribute, Some q ->
                  Footprint.reading_key ~root:(Dom.id (Dom.root n))
-                   ~scope:(Dom.id n) ~local:q.Qname.local
+                   ~scope:(Dom.id n) ~local:q.Qname.lsym
                    (Option.value ~default:"" (Dom.value n))
              | _ -> ());
           match Dom.name n with
@@ -517,7 +520,11 @@ let () =
             if Float.is_nan f then "N:nan" else "N:" ^ string_of_float f
         | A.Untyped s | A.String s | A.Any_uri s -> "S:" ^ s
         | A.Boolean b -> if b then "B:1" else "B:0"
-        | A.Qname_v q -> "Q:" ^ Qname.to_clark q
+        | A.Qname_v q ->
+            (* symbol ids are a bijection of (uri, local), so keying by
+               them groups exactly like the Clark string at a fraction
+               of the allocation *)
+            Printf.sprintf "Q:%d:%d" q.Qname.usym (q.Qname.lsym :> int)
         | A.Date _ -> "D:date"
         | A.Time _ -> "D:time"
         | A.Date_time _ -> "D:date-time"
@@ -643,9 +650,9 @@ let () =
       let root = Dom.id (Dom.root n) in
       match (Dom.kind n, Dom.name n) with
       | Dom.Element, Some q ->
-          Footprint.reading_name ~root ~scope:(Dom.id n) q.Qname.local
+          Footprint.reading_name ~root ~scope:(Dom.id n) q.Qname.lsym
       | Dom.Attribute, Some q ->
-          Footprint.reading_key ~root ~scope:(Dom.id n) ~local:q.Qname.local
+          Footprint.reading_key ~root ~scope:(Dom.id n) ~local:q.Qname.lsym
             (Option.value ~default:"" (Dom.value n))
       | _ -> ()
     end
@@ -706,7 +713,7 @@ let () =
       let uri = opt_string (arg 0 args) in
       let name = req_string (arg 1 args) in
       let qn = Qname.of_string name in
-      [ I.Atomic (A.Qname_v { qn with Qname.uri }) ]);
+      [ I.Atomic (A.Qname_v (Qname.with_uri qn uri)) ]);
   fn ~local:"local-name-from-QName" (fun _ args ->
       match I.opt_atomic (arg 0 args) with
       | None -> []

@@ -67,11 +67,11 @@ let resolve_with st ~use_default qn =
   | None -> (
       match qn.Qname.prefix with
       | None ->
-          if use_default then { qn with Qname.uri = Qname.Env.default st.env }
+          if use_default then Qname.with_uri qn (Qname.Env.default st.env)
           else qn
       | Some p -> (
           match Qname.Env.lookup st.env p with
-          | Some uri -> { qn with Qname.uri = Some uri }
+          | Some uri -> Qname.with_uri qn (Some uri)
           | None -> fail st "unbound namespace prefix %S" p))
 
 let resolve_element st qn = resolve_with st ~use_default:true qn
@@ -81,7 +81,7 @@ let resolve_function st qn =
   match (qn.Qname.uri, qn.Qname.prefix) with
   | Some _, _ -> qn
   | None, None ->
-      { qn with Qname.uri = Some (Static_context.default_function_ns st.sctx) }
+      Qname.with_uri qn (Some (Static_context.default_function_ns st.sctx))
   | None, Some _ -> resolve_other st qn
 
 let qname_of_token st = function
@@ -1490,7 +1490,7 @@ let rec parse_prolog st acc =
         | Some _ -> resolve_other st qn
         | None ->
             (* unprefixed declared functions live in the local namespace *)
-            { qn with Qname.uri = Some Qname.Ns.local }
+            Qname.with_uri qn (Some Qname.Ns.local)
       in
       expect st L.T_lpar "'('";
       let params =

@@ -97,6 +97,21 @@ let impure_builtin = function
       true
   | _ -> false
 
+(* The same test keyed by interned symbol: the eight impure locals are
+   interned once at module init, so the per-call check is an int-set
+   probe instead of a string match. *)
+let impure_syms : (int, unit) Hashtbl.t = Hashtbl.create 16
+
+let () =
+  List.iter
+    (fun l -> Hashtbl.replace impure_syms (Xmlb.Sym.intern l :> int) ())
+    [
+      "doc"; "doc-available"; "put"; "current-dateTime"; "current-date";
+      "current-time"; "implicit-timezone"; "trace";
+    ]
+
+let impure_builtin_sym (sym : Xmlb.Sym.t) = Hashtbl.mem impure_syms (sym :> int)
+
 (* ------------------------------------------------------------------ *)
 (* Memo table                                                          *)
 

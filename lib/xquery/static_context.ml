@@ -12,8 +12,8 @@ type t = {
   mutable ns : Qname.Env.t;
   mutable default_fun_ns : string;
   mutable boundary_space : bool;
-  functions : (string, Ast.function_decl) Hashtbl.t;
-  externals : (string, external_function) Hashtbl.t;
+  functions : (int * int * int, Ast.function_decl) Hashtbl.t;
+  externals : (int * int * int, external_function) Hashtbl.t;
   mutable variables : (Qname.t * Ast.seq_type option * Ast.expr option) list;
   mutable options : (Qname.t * string) list;
   mutable blocked : (string * string) list;
@@ -56,16 +56,19 @@ let resolve t ~kind qn =
   | Some _ -> qn
   | None -> (
       match (qn.Qname.prefix, kind) with
-      | None, `Function -> { qn with Qname.uri = Some t.default_fun_ns }
-      | None, `Element -> { qn with Qname.uri = Qname.Env.default t.ns }
+      | None, `Function -> Qname.with_uri qn (Some t.default_fun_ns)
+      | None, `Element -> Qname.with_uri qn (Qname.Env.default t.ns)
       | None, `Other -> qn
       | Some p, _ -> (
           match Qname.Env.lookup t.ns p with
-          | Some uri -> { qn with Qname.uri = Some uri }
+          | Some uri -> Qname.with_uri qn (Some uri)
           | None ->
               Xq_error.raise_error Xq_error.syntax "unbound namespace prefix %S" p))
 
-let key qn arity = Qname.to_clark qn ^ "#" ^ string_of_int arity
+(* Function tables are keyed by (uri sym, local sym, arity) int triples
+   built from the Qname's pre-interned symbols — no Clark-string
+   allocation per declaration or lookup. *)
+let key qn arity = (qn.Qname.usym, (qn.Qname.lsym :> int), arity)
 
 let declare_function t (f : Ast.function_decl) =
   Hashtbl.replace t.functions (key f.Ast.fname (List.length f.Ast.params)) f

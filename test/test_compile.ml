@@ -161,9 +161,9 @@ let function_tests =
               (Hashtbl.length ctx.Dynamic_context.compiled_fns > 0);
             (* prove call_function consults the table: plant a marker *)
             let key =
-              Xmlb.Qname.to_clark
+              Dynamic_context.fn_key
                 (Xmlb.Qname.make ~uri:Xmlb.Qname.Ns.local "f")
-              ^ "/1"
+                ~arity:1
             in
             Hashtbl.replace ctx.Dynamic_context.compiled_fns key
               (fun _ _ -> [ I.Atomic (A.String "marker") ]);

@@ -11,6 +11,7 @@ let () =
       ("update", Test_update.suite);
       ("scripting", Test_scripting.suite);
       ("properties", Test_properties.suite);
+      ("interning", Test_interning.suite);
       ("optimizer", Test_optimizer.suite);
       ("streaming", Test_streaming.suite);
       ("joins", Test_joins.suite);
